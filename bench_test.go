@@ -1,0 +1,351 @@
+package rationality
+
+// One benchmark per paper artifact (see EXPERIMENTS.md):
+//
+//	BenchmarkFig7PerM          E1  Fig. 7 — one full iteration (greedy +
+//	                               inventor) per link count
+//	BenchmarkParticipation     E2  §5 — equilibrium solve and verify
+//	BenchmarkOnlineParticipation E3 §5 online — exact expected-gain analysis
+//	BenchmarkP1Verifier        E4  Lemma 1 — P1 verification per game size
+//	BenchmarkP1Prover          E4  Lemma 1 — the prover's support enumeration
+//	BenchmarkP2Verifier        E5  Remark 3 — P2 private verification per
+//	                               hidden-support size
+//	BenchmarkFig6              E6  the diamond-network scenario
+//	BenchmarkEnumerationProof  E7  §3 — proof build + check per profile count
+//	BenchmarkGreedyVsOPT       E8  Lemma 2 — greedy schedule vs exact OPT
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/congestion"
+	"rationality/internal/game"
+	"rationality/internal/interactive"
+	"rationality/internal/links"
+	"rationality/internal/numeric"
+	"rationality/internal/participation"
+	"rationality/internal/proof"
+)
+
+// E1 — Fig. 7: cost of one simulation iteration per link count.
+func BenchmarkFig7PerM(b *testing.B) {
+	for _, m := range []int{2, 42, 192, 500} {
+		b.Run(fmt.Sprintf("links=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			loads := links.UniformLoads(rng, 1000, 1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				greedy, err := links.Run(m, loads, links.Greedy{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inventor, err := links.Run(m, loads, links.Inventor{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if greedy.Makespan() == 0 || inventor.Makespan() == 0 {
+					b.Fatal("degenerate makespan")
+				}
+			}
+		})
+	}
+}
+
+// E2 — §5: the inventor's solve and the agent's verification.
+func BenchmarkParticipation(b *testing.B) {
+	g := participation.MustNew(3, 2, numeric.I(8), numeric.I(3))
+	b.Run("solve-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := g.SolveExact(participation.LowBranch, 64); !ok {
+				b.Fatal("no root")
+			}
+		}
+	})
+	b.Run("solve-bisect", func(b *testing.B) {
+		tol := numeric.R(1, 1<<20)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := g.Solve(participation.LowBranch, tol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		p := numeric.R(1, 4)
+		for i := 0; i < b.N; i++ {
+			if _, err := g.VerifyAdvice(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Larger n: verification stays cheap. (The fee must sit below the peak
+	// pivot value v·(1−1/(n−1))^{n−2} ≈ v/e for an interior equilibrium to
+	// exist at n = 50, so use c = v/8.)
+	big := participation.MustNew(50, 2, numeric.I(8), numeric.I(1))
+	b.Run("verify-n50", func(b *testing.B) {
+		p, _, err := big.Solve(participation.LowBranch, numeric.R(1, 1<<24))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tol := numeric.R(1, 1024)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := big.VerifyAdviceApprox(p, tol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E3 — §5 online: the exact expected-gain analysis.
+func BenchmarkOnlineParticipation(b *testing.B) {
+	for _, n := range []int{3, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := participation.MustNew(n, 2, numeric.I(8), numeric.I(3))
+			p := numeric.R(1, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.AnalyzeOnline(p, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// hideAndSeek builds the diagonal zero-sum game with the unique fully mixed
+// equilibrium (see cmd/experiments): the P1 scaling instance.
+func hideAndSeek(n int) (*bimatrix.Game, *interactive.P1Advice) {
+	a := make([][]int64, n)
+	bm := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		bm[i] = make([]int64, n)
+		a[i][i] = int64(i + 1)
+		bm[i][i] = -int64(i + 1)
+	}
+	g := bimatrix.FromInts(a, bm)
+	full := make([]int, n)
+	for i := range full {
+		full[i] = i
+	}
+	return g, &interactive.P1Advice{RowSupport: full, ColSupport: full, Rows: n, Cols: n}
+}
+
+// E4 — Lemma 1: polynomial verification...
+func BenchmarkP1Verifier(b *testing.B) {
+	for _, n := range []int{2, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, advice := hideAndSeek(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := interactive.VerifyP1(g, advice); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ... versus the prover's exponential support enumeration.
+func BenchmarkP1Prover(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, _ := hideAndSeek(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.FindEquilibrium(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5 — Remark 3: P2 queries vs hidden-support size (n = 32 columns).
+func BenchmarkP2Verifier(b *testing.B) {
+	const n = 32
+	for _, s := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("support=%d", s), func(b *testing.B) {
+			a := make([][]int64, n)
+			bm := make([][]int64, n)
+			for i := 0; i < n; i++ {
+				a[i] = make([]int64, n)
+				bm[i] = make([]int64, n)
+			}
+			for i := 0; i < s; i++ {
+				a[i][i], bm[i][i] = 1, 1
+			}
+			g := bimatrix.FromInts(a, bm)
+			x := numeric.NewVec(n)
+			y := numeric.NewVec(n)
+			for i := 0; i < s; i++ {
+				x.SetAt(i, numeric.R(1, int64(s)))
+				y.SetAt(i, numeric.R(1, int64(s)))
+			}
+			eq := &bimatrix.Equilibrium{
+				Profile:   bimatrix.Profile{X: x, Y: y},
+				LambdaRow: numeric.R(1, int64(s)),
+				LambdaCol: numeric.R(1, int64(s)),
+			}
+			prover, err := interactive.NewHonestProver(g, eq, rand.New(rand.NewSource(11)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := interactive.VerifyP2(g, interactive.RowAgent, prover,
+					interactive.P2Config{Rng: rng}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E6 — Fig. 6: the diamond-network scenario end to end.
+func BenchmarkFig6(b *testing.B) {
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := congestion.BuildFig6(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.GreedyFinalDelay.Sign() <= 0 {
+					b.Fatal("degenerate result")
+				}
+			}
+		})
+	}
+}
+
+// E7 — §3: enumeration-proof build and check per profile-space size.
+func BenchmarkEnumerationProof(b *testing.B) {
+	shapes := []struct {
+		name   string
+		counts []int
+	}{
+		{"2x2", []int{2, 2}},
+		{"2x8", []int{8, 8}},
+		{"3x4", []int{4, 4, 4}},
+		{"2x32", []int{32, 32}},
+	}
+	for _, shape := range shapes {
+		rng := rand.New(rand.NewSource(17))
+		var g *game.Game
+		var pf *proof.Proof
+		for {
+			g = game.RandomGame("r", shape.counts, 8, rng.Int63n)
+			var err error
+			if pf, err = proof.BuildBestAdvice(g, proof.MaxNash); err == nil {
+				break
+			}
+		}
+		b.Run("build/"+shape.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proof.Build(g, pf.Advised, proof.MaxNash); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("check/"+shape.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := proof.Check(g, pf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8 — Lemma 2: greedy scheduling vs the exact-OPT branch and bound.
+func BenchmarkGreedyVsOPT(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	loads := links.UniformLoads(rng, 12, 100)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := links.Run(3, loads, links.Greedy{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-opt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := links.OptimalMakespan(3, loads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation (DESIGN.md: §6's two statistics models) — the inventor with a
+// dynamically updated average vs. the inventor with prior knowledge of the
+// load distribution, vs. greedy, on the Fig. 7 workload.
+func BenchmarkAblationStatistics(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	loads := links.UniformLoads(rng, 1000, 1000)
+	const m = 100
+	choosers := map[string]links.Chooser{
+		"greedy":           links.Greedy{},
+		"inventor-dynamic": links.Inventor{},
+		"inventor-prior":   links.NewUniformPrior(1000),
+	}
+	for name, c := range choosers {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := links.Run(m, loads, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Makespan() == 0 {
+					b.Fatal("degenerate")
+				}
+			}
+		})
+	}
+}
+
+// The end-to-end framework round trip, for the README's performance note.
+func BenchmarkConsultationRoundTrip(b *testing.B) {
+	ann, err := AnnounceEnumeration("inventor", game.PrisonersDilemma(), MaxNash)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inventor, err := NewInventor(ann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	verifiers := map[string]Client{}
+	for _, id := range []string{"v1", "v2", "v3"} {
+		vs, err := NewVerifier(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		verifiers[id] = DialInProc(vs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent, err := NewAgent(AgentConfig{
+			Name:      "bench",
+			Inventor:  DialInProc(inventor),
+			Verifiers: verifiers,
+			Registry:  NewReputationRegistry(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := agent.Consult(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Accepted {
+			b.Fatal("rejected")
+		}
+	}
+}

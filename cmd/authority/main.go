@@ -1,0 +1,240 @@
+// Command authority runs the rationality-authority parties as network
+// processes, so a deployment can put the inventor, each verifier, and each
+// agent on different machines:
+//
+//	# terminal 1: a verifier selling its procedures on :7101
+//	authority verifier -id verify-corp -listen 127.0.0.1:7101
+//
+//	# terminal 2: an inventor announcing a built-in demo game on :7100
+//	authority inventor -game pd -listen 127.0.0.1:7100
+//
+//	# terminal 3: an agent consulting both
+//	authority agent -inventor 127.0.0.1:7100 -verifiers verify-corp=127.0.0.1:7101
+//
+// Built-in demo games: pd (Prisoner's Dilemma, §3 enumeration proof),
+// mp (Matching Pennies, §4 P1 supports), auction (the §5 participation game
+// with the paper's parameters), and pd-forged (a dishonest inventor whose
+// advice the verifiers must reject).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/core"
+	"rationality/internal/game"
+	"rationality/internal/numeric"
+	"rationality/internal/participation"
+	"rationality/internal/proof"
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "inventor":
+		err = runInventor(os.Args[2:])
+	case "verifier":
+		err = runVerifier(os.Args[2:])
+	case "agent":
+		err = runAgent(os.Args[2:])
+	case "p2-prover":
+		err = runP2Prover(os.Args[2:])
+	case "p2-verify":
+		err = runP2Verify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "authority:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent> [flags]
+
+  authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
+  authority verifier -id <name> -listen <addr>
+  authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>]
+  authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
+  authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
+}
+
+func runInventor(args []string) error {
+	fs := flag.NewFlagSet("inventor", flag.ExitOnError)
+	gameName := fs.String("game", "pd", "built-in game: pd, mp, auction, pd-forged")
+	listen := fs.String("listen", "127.0.0.1:7100", "listen address")
+	id := fs.String("id", "", "inventor identifier (defaults to honest/shady per game)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ann, err := buildAnnouncement(*gameName, *id)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewInventorService(ann)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.ListenTCP(*listen, svc)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("inventor %q announcing %q (format %s) on %s\n",
+		ann.InventorID, *gameName, ann.Format, srv.Addr())
+	waitForSignal()
+	return nil
+}
+
+func buildAnnouncement(gameName, id string) (core.Announcement, error) {
+	switch gameName {
+	case "pd":
+		if id == "" {
+			id = "honest-inventor"
+		}
+		return core.AnnounceEnumeration(id, game.PrisonersDilemma(), proof.MaxNash)
+	case "pd-forged":
+		if id == "" {
+			id = "shady-inventor"
+		}
+		return core.AnnounceEnumerationForged(id, game.PrisonersDilemma(), game.Profile{0, 0})
+	case "mp":
+		if id == "" {
+			id = "honest-inventor"
+		}
+		g := bimatrix.FromInts(
+			[][]int64{{1, -1}, {-1, 1}},
+			[][]int64{{-1, 1}, {1, -1}},
+		)
+		return core.AnnounceP1(id, "matching-pennies", g)
+	case "auction":
+		if id == "" {
+			id = "auction-house"
+		}
+		g := participation.MustNew(3, 2, numeric.I(8), numeric.I(3))
+		return core.AnnounceParticipation(id, "entry-game", g, participation.LowBranch)
+	default:
+		return core.Announcement{}, fmt.Errorf("unknown game %q", gameName)
+	}
+}
+
+func runVerifier(args []string) error {
+	fs := flag.NewFlagSet("verifier", flag.ExitOnError)
+	id := fs.String("id", "verifier-1", "verifier identifier")
+	listen := fs.String("listen", "127.0.0.1:7101", "listen address")
+	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var svc *core.VerifierService
+	var err error
+	if *corrupt {
+		svc, err = core.NewCorruptVerifierService(*id)
+	} else {
+		svc, err = core.NewVerifierService(*id)
+	}
+	if err != nil {
+		return err
+	}
+	srv, err := transport.ListenTCP(*listen, svc)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("verifier %q selling procedures on %s (corrupt=%v)\n", *id, srv.Addr(), *corrupt)
+	waitForSignal()
+	return nil
+}
+
+func runAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	inventorAddr := fs.String("inventor", "127.0.0.1:7100", "inventor address")
+	verifierList := fs.String("verifiers", "", "comma-separated id=addr pairs")
+	name := fs.String("name", "agent", "agent name")
+	timeout := fs.Duration("timeout", 10*time.Second, "consultation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *verifierList == "" {
+		return fmt.Errorf("agent needs -verifiers id=addr[,id=addr...]")
+	}
+
+	inventorClient, err := transport.DialTCP(*inventorAddr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer inventorClient.Close()
+
+	verifiers := make(map[string]transport.Client)
+	defer func() {
+		for _, c := range verifiers {
+			_ = c.Close()
+		}
+	}()
+	for _, pair := range strings.Split(*verifierList, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("malformed verifier %q; want id=addr", pair)
+		}
+		c, err := transport.DialTCP(addr, *timeout)
+		if err != nil {
+			return fmt.Errorf("dialing verifier %s: %w", id, err)
+		}
+		verifiers[id] = c
+	}
+
+	registry := reputation.NewRegistry()
+	agent, err := core.NewAgent(core.AgentConfig{
+		Name:      *name,
+		Inventor:  inventorClient,
+		Verifiers: verifiers,
+		Registry:  registry,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := agent.Consult(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consultation of %s: advice accepted=%v\n", res.Announcement.InventorID, res.Accepted)
+	for id, v := range res.Verdicts {
+		status := "accepted"
+		if !v.Accepted {
+			status = "REJECTED: " + v.Reason
+		}
+		fmt.Printf("  %-14s %s\n", id, status)
+		for k, val := range v.Details {
+			fmt.Printf("      %s = %s\n", k, val)
+		}
+	}
+	if !res.Accepted {
+		fmt.Printf("inventor reported; reputation now %.2f\n",
+			registry.Reputation(res.Announcement.InventorID))
+	}
+	return nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"flag"
+	"fmt"
+	mathrand "math/rand"
+	"time"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/core"
+	"rationality/internal/interactive"
+	"rationality/internal/transport"
+)
+
+// p2Game is the demo game for the distributed private proof: Matching
+// Pennies, whose unique equilibrium is fully mixed.
+func p2Game() *bimatrix.Game {
+	return bimatrix.FromInts(
+		[][]int64{{1, -1}, {-1, 1}},
+		[][]int64{{-1, 1}, {1, -1}},
+	)
+}
+
+func runP2Prover(args []string) error {
+	fs := flag.NewFlagSet("p2-prover", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7102", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g := p2Game()
+	eq, err := g.FindEquilibrium()
+	if err != nil {
+		return err
+	}
+	prover, err := interactive.NewHonestProver(g, eq, cryptorand.Reader)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewP2ProverService(prover)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.ListenTCP(*listen, svc)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("P2 prover serving the Matching Pennies equilibrium privately on %s\n", srv.Addr())
+	waitForSignal()
+	return nil
+}
+
+func runP2Verify(args []string) error {
+	fs := flag.NewFlagSet("p2-verify", flag.ExitOnError)
+	proverAddr := fs.String("prover", "127.0.0.1:7102", "P2 prover address")
+	roleName := fs.String("role", "row", "which agent verifies: row or col")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "verifier RNG seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "session timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	role := interactive.RowAgent
+	if *roleName == "col" {
+		role = interactive.ColAgent
+	}
+
+	client, err := transport.DialTCP(*proverAddr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	g := p2Game()
+	remote := core.NewRemoteP2Prover(ctx, client)
+	report, err := interactive.VerifyP2(g, role, remote, interactive.P2Config{
+		Rng: mathrand.New(mathrand.NewSource(*seed)),
+	})
+	if err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+	fmt.Printf("P2 verified as the %s agent: %d queries, %d conclusive, %d/%d opponent bits revealed\n",
+		role, report.Queries, report.Conclusive, report.RevealedIndices, g.Cols())
+	return nil
+}

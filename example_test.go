@@ -1,0 +1,146 @@
+package rationality_test
+
+import (
+	"context"
+	"fmt"
+
+	"rationality"
+)
+
+// ExampleVerifyP1 shows §4's protocol P1: the inventor computes a mixed
+// equilibrium (hard) and reveals only the supports; the verifier recovers
+// the equilibrium in polynomial time by solving the indifference system.
+func ExampleVerifyP1() {
+	matchingPennies := rationality.NewBimatrixFromInts(
+		[][]int64{{1, -1}, {-1, 1}},
+		[][]int64{{-1, 1}, {1, -1}},
+	)
+	advice, _, err := rationality.BuildP1Advice(matchingPennies)
+	if err != nil {
+		fmt.Println("prover failed:", err)
+		return
+	}
+	eq, err := rationality.VerifyP1(matchingPennies, advice)
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	fmt.Printf("bits on wire: %d\n", advice.BitsOnWire())
+	fmt.Printf("recovered x = %s, y = %s\n", eq.X, eq.Y)
+	fmt.Printf("values: λ1 = %s, λ2 = %s\n", eq.LambdaRow.RatString(), eq.LambdaCol.RatString())
+	// Output:
+	// bits on wire: 4
+	// recovered x = (1/2, 1/2), y = (1/2, 1/2)
+	// values: λ1 = 0, λ2 = 0
+}
+
+// ExampleNewParticipationGame reproduces the paper's §5 worked example:
+// with c/v = 3/8 and n = 3 firms, the symmetric equilibrium is p = 1/4 and
+// the verifier confirms the expected gain v/16.
+func ExampleNewParticipationGame() {
+	g, err := rationality.NewParticipationGame(3, 2, rationality.I(8), rationality.I(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, ok := g.SolveExact(rationality.LowBranch, 16)
+	if !ok {
+		fmt.Println("no exact root")
+		return
+	}
+	gain, err := g.VerifyAdvice(p)
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	fmt.Printf("equilibrium p = %s\n", p.RatString())
+	fmt.Printf("expected gain = %s (v/16 with v = 8)\n", gain.RatString())
+	// Forged advice is rejected.
+	if _, err := g.VerifyAdvice(rationality.MustRat("1/3")); err != nil {
+		fmt.Println("p = 1/3 rejected")
+	}
+	// Output:
+	// equilibrium p = 1/4
+	// expected gain = 1/2 (v/16 with v = 8)
+	// p = 1/3 rejected
+}
+
+// ExampleBuildNashProof shows the §3 certificate: the inventor proves the
+// advised profile is a maximal pure Nash equilibrium; the checker re-derives
+// every step and rejects forgeries.
+func ExampleBuildNashProof() {
+	g, err := rationality.NewGame("prisoners-dilemma", []int{2, 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g.SetPayoffs(rationality.Profile{0, 0}, rationality.I(3), rationality.I(3))
+	g.SetPayoffs(rationality.Profile{0, 1}, rationality.I(0), rationality.I(5))
+	g.SetPayoffs(rationality.Profile{1, 0}, rationality.I(5), rationality.I(0))
+	g.SetPayoffs(rationality.Profile{1, 1}, rationality.I(1), rationality.I(1))
+
+	proof, err := rationality.BuildNashProof(g, rationality.Profile{1, 1}, rationality.MaxNash)
+	if err != nil {
+		fmt.Println("cannot prove:", err)
+		return
+	}
+	fmt.Printf("proof steps: %d\n", proof.Steps())
+	fmt.Printf("verifier accepts: %v\n", rationality.CheckNashProof(g, proof) == nil)
+
+	// An honest inventor cannot prove a false claim.
+	if _, err := rationality.BuildNashProof(g, rationality.Profile{0, 0}, rationality.MaxNash); err != nil {
+		fmt.Println("cooperation cannot be certified")
+	}
+	// Output:
+	// proof steps: 4
+	// verifier accepts: true
+	// cooperation cannot be certified
+}
+
+// Example_consultation runs the full Fig. 1 loop through the public API.
+func Example_consultation() {
+	g, err := rationality.NewParticipationGame(3, 2, rationality.I(8), rationality.I(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ann, err := rationality.AnnounceParticipation("auction-house", "entry-game", g, rationality.LowBranch)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	inventor, err := rationality.NewInventor(ann)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	verifiers := map[string]rationality.Client{}
+	for _, id := range []string{"v1", "v2", "v3"} {
+		vs, err := rationality.NewVerifier(id)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		verifiers[id] = rationality.DialInProc(vs)
+	}
+	agent, err := rationality.NewAgent(rationality.AgentConfig{
+		Name:      "jane",
+		Inventor:  rationality.DialInProc(inventor),
+		Verifiers: verifiers,
+		Registry:  rationality.NewReputationRegistry(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("advice accepted by majority: %v\n", res.Accepted)
+	fmt.Printf("advised p: %s\n", res.Verdicts["v1"].Details["p"])
+	// Output:
+	// advice accepted by majority: true
+	// advised p: 1/4
+}

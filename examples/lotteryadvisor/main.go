@@ -1,0 +1,84 @@
+// Command lotteryadvisor plays out the lottery scenario from the paper's
+// Discussion (§7): the lottery company knows that fake raffle tickets —
+// almost indistinguishable from valid ones — are sold in a certain
+// geographic area. Acting as a rationality authority, it advises
+// participants to avoid that area and backs the advice with checkable
+// proofs: per-ticket validity commitments published at issuance, opened on
+// challenge. The disclosure is minimal but lets participants keep their
+// winning chance at 1/x.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+
+	"rationality/internal/lottery"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lotteryadvisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Issue 8 tickets; a counterfeiter circulates 2 fakes downtown.
+	tickets := []lottery.Ticket{
+		{Serial: "A-001", Area: "uptown"},
+		{Serial: "A-002", Area: "uptown"},
+		{Serial: "A-003", Area: "midtown"},
+		{Serial: "A-004", Area: "midtown"},
+		{Serial: "A-005", Area: "downtown"},
+		{Serial: "A-006", Area: "downtown"},
+		{Serial: "X-666", Area: "downtown", Fake: true},
+		{Serial: "X-667", Area: "downtown", Fake: true},
+	}
+	company, err := lottery.NewCompany(tickets, rand.Reader)
+	if err != nil {
+		return err
+	}
+
+	// Issuance: the commitments are public; the fake list is not.
+	comms := company.Commitments()
+	fmt.Printf("company published %d per-ticket validity commitments\n", len(comms))
+
+	// The advice.
+	avoid := company.AdviseAvoidAreas()
+	fmt.Printf("advice: avoid buying in %v\n", avoid)
+	fmt.Printf("winning chance of a valid ticket (1/x): %s\n", company.FairChance().RatString())
+	for _, area := range []string{"uptown", "midtown", "downtown"} {
+		fmt.Printf("  win probability buying at random in %-9s: %s\n",
+			area, company.WinProbability(area).RatString())
+	}
+	fmt.Printf("value of following the advice (uptown vs downtown): %s\n",
+		company.AdviceValue("uptown", "downtown").RatString())
+
+	// A skeptical participant challenges two tickets; the company proves the
+	// claims by opening exactly those commitments.
+	for _, serial := range []string{"X-666", "A-005"} {
+		open, err := company.ProveTicket(serial)
+		if err != nil {
+			return err
+		}
+		valid, err := lottery.VerifyTicketProof(comms, serial, open)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("challenge %s: proof verified, valid=%v\n", serial, valid)
+	}
+
+	// Replaying a valid ticket's proof for a fake one fails: the serial is
+	// bound into the committed value.
+	openValid, err := company.ProveTicket("A-001")
+	if err != nil {
+		return err
+	}
+	if _, err := lottery.VerifyTicketProof(comms, "X-666", openValid); err != nil {
+		fmt.Println("replayed proof rejected:", err)
+	} else {
+		return fmt.Errorf("replayed proof was accepted")
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command marketplace simulates the rationality authority as an ecosystem
+// over many rounds: a mixed population of honest and forging inventors, a
+// verifier pool containing one corrupt member, and a reputation-threshold
+// agent. Round by round, majority voting pays honest verifiers and bleeds
+// the liar until the agent stops consulting it; forging inventors are
+// reported with evidence and their key-bound reputations collapse — the
+// paper's "long-lasting reputation" incentive, end to end.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"rationality"
+	"rationality/internal/core"
+	"rationality/internal/game"
+	"rationality/internal/proof"
+	"rationality/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "marketplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	registry := rationality.NewReputationRegistry()
+
+	// The verifier pool: three honest, one corrupt.
+	verifierClients := map[string]rationality.Client{}
+	for _, id := range []string{"veritas", "checkers", "proofly"} {
+		vs, err := rationality.NewVerifier(id)
+		if err != nil {
+			return err
+		}
+		verifierClients[id] = rationality.DialInProc(vs)
+	}
+	corrupt, err := core.NewCorruptVerifierService("shady-checks")
+	if err != nil {
+		return err
+	}
+	verifierClients["shady-checks"] = transport.DialInProc(corrupt)
+
+	// The inventor population: two honest, one forger, each with a signing
+	// identity.
+	type inventor struct {
+		name   string
+		honest bool
+	}
+	population := []inventor{
+		{"acme-games", true},
+		{"fair-auctions", true},
+		{"fraud-factory", false},
+	}
+
+	pd := game.PrisonersDilemma()
+	keys := map[string]*rationality.KeyPair{}
+	ids := map[string]string{}
+	services := map[string]*rationality.InventorService{}
+	for _, inv := range population {
+		k, err := rationality.NewKeyPair()
+		if err != nil {
+			return err
+		}
+		keys[inv.name] = k
+		var ann rationality.Announcement
+		if inv.honest {
+			ann, err = core.AnnounceEnumeration(inv.name, pd, proof.MaxNash)
+		} else {
+			ann, err = core.AnnounceEnumerationForged(inv.name, pd, game.Profile{0, 0})
+		}
+		if err != nil {
+			return err
+		}
+		signed, err := rationality.SignAnnouncement(k, ann)
+		if err != nil {
+			return err
+		}
+		ids[inv.name] = signed.InventorID
+		svc, err := rationality.NewInventor(signed)
+		if err != nil {
+			return err
+		}
+		services[inv.name] = svc
+	}
+
+	const rounds = 6
+	const threshold = 0.3
+	for round := 1; round <= rounds; round++ {
+		inv := population[(round-1)%len(population)]
+		agent, err := rationality.NewAgent(rationality.AgentConfig{
+			Name:                       fmt.Sprintf("agent-%d", round),
+			Inventor:                   rationality.DialInProc(services[inv.name]),
+			Verifiers:                  verifierClients,
+			Registry:                   registry,
+			Threshold:                  threshold,
+			RequireSignedAnnouncements: true,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := agent.Consult(context.Background())
+		if err != nil {
+			return err
+		}
+		liarConsulted := "excluded"
+		if _, ok := res.Verdicts["shady-checks"]; ok {
+			liarConsulted = "consulted"
+		}
+		fmt.Printf("round %d: %-13s accepted=%-5v verifiers=%d shady-checks %s\n",
+			round, inv.name, res.Accepted, len(res.Verdicts), liarConsulted)
+	}
+
+	fmt.Println("\nfinal reputations:")
+	for _, id := range []string{"veritas", "checkers", "proofly", "shady-checks"} {
+		fmt.Printf("  verifier %-13s %.2f\n", id, registry.Reputation(id))
+	}
+	for _, inv := range population {
+		fmt.Printf("  inventor %-13s %.2f (key %s...)\n",
+			inv.name, registry.Reputation(ids[inv.name]), ids[inv.name][:8])
+	}
+	misbehaviours := 0
+	for _, e := range registry.Events() {
+		if e.Details != "" {
+			misbehaviours++
+		}
+	}
+	fmt.Printf("audit log: %d misbehaviour reports with evidence\n", misbehaviours)
+	return nil
+}

@@ -1,0 +1,98 @@
+package bimatrix
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// ZeroSumSolution is the minimax solution of a zero-sum matrix game: the
+// game value and optimal (maximin/minimax) mixed strategies.
+type ZeroSumSolution struct {
+	Value *big.Rat
+	X     *numeric.Vec // row agent's maximin strategy
+	Y     *numeric.Vec // column agent's minimax strategy
+}
+
+// SolveZeroSum solves the zero-sum game with row-agent payoff matrix a
+// (column agent receives −a) by a pair of exact LPs. By the minimax theorem
+// the two LP optima coincide; the solver cross-checks this and fails loudly
+// if they do not (which would indicate an LP bug, not a property of the
+// game).
+func SolveZeroSum(a *numeric.Matrix) (*ZeroSumSolution, error) {
+	if a.Rows() == 0 || a.Cols() == 0 {
+		return nil, fmt.Errorf("bimatrix: empty matrix")
+	}
+	n, m := a.Rows(), a.Cols()
+
+	// Row agent: max v s.t. Σ_i x_i A(i,j) >= v for all j, Σ x = 1, x >= 0.
+	// Variables: x_0..x_{n-1}, v⁺, v⁻.
+	rowLP := &numeric.LP{NumVars: n + 2, Objective: numeric.NewVec(n + 2)}
+	rowLP.Objective.SetAt(n, numeric.One())
+	rowLP.Objective.SetAt(n+1, numeric.I(-1))
+	for j := 0; j < m; j++ {
+		row := numeric.NewVec(n + 2)
+		for i := 0; i < n; i++ {
+			row.SetAt(i, a.At(i, j))
+		}
+		row.SetAt(n, numeric.I(-1))
+		row.SetAt(n+1, numeric.One())
+		rowLP.AddGE(row, numeric.Zero())
+	}
+	sum := numeric.NewVec(n + 2)
+	for i := 0; i < n; i++ {
+		sum.SetAt(i, numeric.One())
+	}
+	rowLP.AddEQ(sum, numeric.One())
+
+	rowRes, err := numeric.SolveLP(rowLP)
+	if err != nil {
+		return nil, err
+	}
+	if rowRes.Status != numeric.Optimal {
+		return nil, fmt.Errorf("bimatrix: row LP status %v", rowRes.Status)
+	}
+
+	// Column agent: min w s.t. Σ_j y_j A(i,j) <= w for all i, Σ y = 1, y >= 0.
+	colLP := &numeric.LP{NumVars: m + 2, Objective: numeric.NewVec(m + 2), Minimize: true}
+	colLP.Objective.SetAt(m, numeric.One())
+	colLP.Objective.SetAt(m+1, numeric.I(-1))
+	for i := 0; i < n; i++ {
+		row := numeric.NewVec(m + 2)
+		for j := 0; j < m; j++ {
+			row.SetAt(j, a.At(i, j))
+		}
+		row.SetAt(m, numeric.I(-1))
+		row.SetAt(m+1, numeric.One())
+		colLP.AddLE(row, numeric.Zero())
+	}
+	csum := numeric.NewVec(m + 2)
+	for j := 0; j < m; j++ {
+		csum.SetAt(j, numeric.One())
+	}
+	colLP.AddEQ(csum, numeric.One())
+
+	colRes, err := numeric.SolveLP(colLP)
+	if err != nil {
+		return nil, err
+	}
+	if colRes.Status != numeric.Optimal {
+		return nil, fmt.Errorf("bimatrix: column LP status %v", colRes.Status)
+	}
+
+	if !numeric.Eq(rowRes.Objective, colRes.Objective) {
+		return nil, fmt.Errorf("bimatrix: minimax gap %s vs %s",
+			rowRes.Objective.RatString(), colRes.Objective.RatString())
+	}
+
+	x := numeric.NewVec(n)
+	for i := 0; i < n; i++ {
+		x.SetAt(i, rowRes.X.At(i))
+	}
+	y := numeric.NewVec(m)
+	for j := 0; j < m; j++ {
+		y.SetAt(j, colRes.X.At(j))
+	}
+	return &ZeroSumSolution{Value: numeric.Copy(rowRes.Objective), X: x, Y: y}, nil
+}

@@ -1,0 +1,214 @@
+package congestion
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// AgentRecord is one routed agent: its commodity (si, ti), load wi, and the
+// irrevocably chosen path πi.
+type AgentRecord struct {
+	Source int
+	Sink   int
+	Load   *big.Rat
+	Path   Path
+}
+
+// Config is the network configuration π(i) after some agents have joined:
+// per-edge total loads We plus the roster of routed agents.
+type Config struct {
+	net    *Network
+	loads  []*big.Rat // per edge ID
+	agents []AgentRecord
+}
+
+// NewConfig returns the empty configuration of the network.
+func NewConfig(net *Network) *Config {
+	loads := make([]*big.Rat, net.NumEdges())
+	for i := range loads {
+		loads[i] = new(big.Rat)
+	}
+	return &Config{net: net, loads: loads}
+}
+
+// Clone returns an independent copy of the configuration.
+func (c *Config) Clone() *Config {
+	cc := NewConfig(c.net)
+	for i, l := range c.loads {
+		cc.loads[i].Set(l)
+	}
+	cc.agents = make([]AgentRecord, len(c.agents))
+	for i, a := range c.agents {
+		cc.agents[i] = AgentRecord{
+			Source: a.Source,
+			Sink:   a.Sink,
+			Load:   numeric.Copy(a.Load),
+			Path:   append(Path(nil), a.Path...),
+		}
+	}
+	return cc
+}
+
+// Network returns the underlying network.
+func (c *Config) Network() *Network { return c.net }
+
+// NumAgents returns how many agents have joined.
+func (c *Config) NumAgents() int { return len(c.agents) }
+
+// Agent returns the record of agent i (joining order).
+func (c *Config) Agent(i int) AgentRecord {
+	a := c.agents[i]
+	return AgentRecord{
+		Source: a.Source,
+		Sink:   a.Sink,
+		Load:   numeric.Copy(a.Load),
+		Path:   append(Path(nil), a.Path...),
+	}
+}
+
+// EdgeLoad returns We, the total load on edge e.
+func (c *Config) EdgeLoad(e int) *big.Rat { return numeric.Copy(c.loads[e]) }
+
+// Join routes a new agent along path p with load w; the decision is
+// irrevocable (the paper's model). It returns the agent's index.
+func (c *Config) Join(src, sink int, w *big.Rat, p Path) (int, error) {
+	if w.Sign() <= 0 {
+		return 0, fmt.Errorf("congestion: agent load must be positive")
+	}
+	if !c.net.ValidPath(p, src, sink) {
+		return 0, fmt.Errorf("congestion: %v is not a path from %d to %d", p, src, sink)
+	}
+	for _, e := range p {
+		c.loads[e].Add(c.loads[e], w)
+	}
+	c.agents = append(c.agents, AgentRecord{
+		Source: src,
+		Sink:   sink,
+		Load:   numeric.Copy(w),
+		Path:   append(Path(nil), p...),
+	})
+	return len(c.agents) - 1, nil
+}
+
+// EdgeDelay returns de(We) for edge e under the current loads.
+func (c *Config) EdgeDelay(e int) *big.Rat {
+	return c.net.Edge(e).Delay.Eval(c.loads[e])
+}
+
+// PathDelay returns the delay currently experienced along path p:
+// Σ_{e∈p} de(We).
+func (c *Config) PathDelay(p Path) *big.Rat {
+	total := numeric.Zero()
+	for _, e := range p {
+		total = numeric.Add(total, c.EdgeDelay(e))
+	}
+	return total
+}
+
+// PathDelayIfJoined returns the delay a new agent of load w would experience
+// on path p after joining: Σ_{e∈p} de(We + w).
+func (c *Config) PathDelayIfJoined(p Path, w *big.Rat) *big.Rat {
+	total := numeric.Zero()
+	for _, e := range p {
+		total = numeric.Add(total, c.net.Edge(e).Delay.Eval(numeric.Add(c.loads[e], w)))
+	}
+	return total
+}
+
+// AgentDelay returns λi(π), the delay agent i experiences under the current
+// configuration.
+func (c *Config) AgentDelay(i int) *big.Rat {
+	return c.PathDelay(c.agents[i].Path)
+}
+
+// TotalCongestion returns Λ(π) = Σ_{e∈E} de(We), the inventor's objective.
+func (c *Config) TotalCongestion() *big.Rat {
+	total := numeric.Zero()
+	for e := 0; e < c.net.NumEdges(); e++ {
+		total = numeric.Add(total, c.EdgeDelay(e))
+	}
+	return total
+}
+
+// RosenthalPotential computes Φ(π) = Σ_e Σ_{t=1}^{ne} de(t) for UNIT-load
+// configurations, where ne is the number of agents on edge e. Best-response
+// moves strictly decrease Φ, so unit-load congestion games always possess
+// pure equilibria. It returns an error when any agent's load is not 1.
+func (c *Config) RosenthalPotential() (*big.Rat, error) {
+	one := numeric.One()
+	counts := make([]int, c.net.NumEdges())
+	for _, a := range c.agents {
+		if a.Load.Cmp(one) != 0 {
+			return nil, fmt.Errorf("congestion: Rosenthal potential requires unit loads; agent has %s",
+				a.Load.RatString())
+		}
+		for _, e := range a.Path {
+			counts[e]++
+		}
+	}
+	total := numeric.Zero()
+	for e, ne := range counts {
+		for t := 1; t <= ne; t++ {
+			total = numeric.Add(total, c.net.Edge(e).Delay.Eval(numeric.I(int64(t))))
+		}
+	}
+	return total, nil
+}
+
+// Reroute moves agent i onto a different valid path, updating the loads.
+// The online game forbids this (decisions are irrevocable); it exists for
+// best-response dynamics analyses of the offline game.
+func (c *Config) Reroute(i int, p Path) error {
+	if i < 0 || i >= len(c.agents) {
+		return fmt.Errorf("congestion: agent %d out of range", i)
+	}
+	a := &c.agents[i]
+	if !c.net.ValidPath(p, a.Source, a.Sink) {
+		return fmt.Errorf("congestion: %v is not a path from %d to %d", p, a.Source, a.Sink)
+	}
+	for _, e := range a.Path {
+		c.loads[e].Sub(c.loads[e], a.Load)
+	}
+	a.Path = append(Path(nil), p...)
+	for _, e := range a.Path {
+		c.loads[e].Add(c.loads[e], a.Load)
+	}
+	return nil
+}
+
+// BestResponsePath returns the path minimizing agent i's delay if it could
+// re-route now (its own load removed first), with the delay it would then
+// experience.
+func (c *Config) BestResponsePath(i int) (Path, *big.Rat, error) {
+	if i < 0 || i >= len(c.agents) {
+		return nil, nil, fmt.Errorf("congestion: agent %d out of range", i)
+	}
+	a := c.agents[i]
+	// Remove the agent's load, find the congestion-aware shortest path,
+	// restore.
+	for _, e := range a.Path {
+		c.loads[e].Sub(c.loads[e], a.Load)
+	}
+	p, d, err := ShortestPath(c, a.Source, a.Sink, a.Load)
+	for _, e := range a.Path {
+		c.loads[e].Add(c.loads[e], a.Load)
+	}
+	return p, d, err
+}
+
+// IsPureEquilibrium reports whether no agent can strictly reduce its delay
+// by unilaterally re-routing.
+func (c *Config) IsPureEquilibrium() (bool, error) {
+	for i := range c.agents {
+		_, best, err := c.BestResponsePath(i)
+		if err != nil {
+			return false, err
+		}
+		if numeric.Lt(best, c.AgentDelay(i)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

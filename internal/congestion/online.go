@@ -1,0 +1,142 @@
+package congestion
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// Arrival is one agent joining the online game at time τi.
+type Arrival struct {
+	Source int
+	Sink   int
+	Load   *big.Rat
+}
+
+// Strategy chooses an irrevocable path for an arriving agent given the
+// current configuration. Implementations include the greedy best reply and
+// (in package links, for parallel-link networks) the inventor's
+// statistics-based suggestion.
+type Strategy interface {
+	// ChoosePath picks a path for the arrival; remaining is how many agents
+	// are still expected after this one (the inventor's statistic n − i).
+	ChoosePath(c *Config, a Arrival, remaining int) (Path, error)
+}
+
+// GreedyStrategy routes each agent along its congestion-aware shortest path
+// at arrival time — the best reply given π(i−1), which §6 shows need not
+// remain a best reply at time τn.
+type GreedyStrategy struct{}
+
+// ChoosePath implements Strategy.
+func (GreedyStrategy) ChoosePath(c *Config, a Arrival, _ int) (Path, error) {
+	p, _, err := ShortestPath(c, a.Source, a.Sink, a.Load)
+	return p, err
+}
+
+// OnlineResult is the outcome of an online run.
+type OnlineResult struct {
+	Config *Config
+	// DelayAtJoin[i] is the delay agent i experienced right after joining
+	// (its greedy yardstick).
+	DelayAtJoin []*big.Rat
+	// FinalDelay[i] is λi(π(n)), the delay when the game ends.
+	FinalDelay []*big.Rat
+}
+
+// RunOnline plays the arrivals in order, each routed by the strategy. The
+// strategy is told how many arrivals remain.
+func RunOnline(net *Network, arrivals []Arrival, s Strategy) (*OnlineResult, error) {
+	c := NewConfig(net)
+	delayAtJoin := make([]*big.Rat, len(arrivals))
+	for i, a := range arrivals {
+		p, err := s.ChoosePath(c, a, len(arrivals)-i-1)
+		if err != nil {
+			return nil, fmt.Errorf("congestion: routing agent %d: %w", i, err)
+		}
+		idx, err := c.Join(a.Source, a.Sink, a.Load, p)
+		if err != nil {
+			return nil, fmt.Errorf("congestion: agent %d: %w", i, err)
+		}
+		delayAtJoin[i] = c.AgentDelay(idx)
+	}
+	final := make([]*big.Rat, len(arrivals))
+	for i := range arrivals {
+		final[i] = c.AgentDelay(i)
+	}
+	return &OnlineResult{Config: c, DelayAtJoin: delayAtJoin, FinalDelay: final}, nil
+}
+
+// Fig6Result packages the quantities of the paper's Fig. 6 example.
+type Fig6Result struct {
+	// GreedyFinalDelay is agent 2k+1's delay at time τ2k+2 after it greedily
+	// picked a→b→d: 2k+3.
+	GreedyFinalDelay *big.Rat
+	// AlternativeFinalDelay is what a→c→d would have cost it: 2k+2.
+	AlternativeFinalDelay *big.Rat
+	// Config is the final configuration for further inspection.
+	Config *Config
+}
+
+// BuildFig6 constructs the diamond network of Fig. 6 (nodes a=0, b=1, c=2,
+// d=3; identity delays; unit loads), loads k agents on each of a→b→d and
+// a→c→d, routes agent 2k+1 (a→d) greedily, then routes agent 2k+2 (b→d)
+// through its only option, and reports agent 2k+1's final delay against the
+// delay of the forgone alternative path.
+func BuildFig6(k int) (*Fig6Result, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("congestion: negative k")
+	}
+	const a, b, c, d = 0, 1, 2, 3
+	net := MustNetwork(4)
+	ab := net.MustAddEdge(a, b, Identity())
+	ac := net.MustAddEdge(a, c, Identity())
+	bd := net.MustAddEdge(b, d, Identity())
+	cd := net.MustAddEdge(c, d, Identity())
+
+	cfg := NewConfig(net)
+	one := numeric.One()
+	for i := 0; i < k; i++ {
+		if _, err := cfg.Join(a, d, one, Path{ab, bd}); err != nil {
+			return nil, err
+		}
+		if _, err := cfg.Join(a, d, one, Path{ac, cd}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Agent 2k+1 picks its greedy best reply from a to d; with every edge at
+	// congestion k both routes cost 2k+2, and the deterministic tie-break
+	// selects a→b→d as in the paper.
+	p, _, err := ShortestPath(cfg, a, d, one)
+	if err != nil {
+		return nil, err
+	}
+	star, err := cfg.Join(a, d, one, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Agent 2k+2 must route b→d; its only option is the direct edge.
+	if _, err := cfg.Join(b, d, one, Path{bd}); err != nil {
+		return nil, err
+	}
+
+	alt := Path{ac, cd}
+	if p[0] != ab {
+		alt = Path{ab, bd} // if the tie-break ever changed, compare the other way
+	}
+	// The forgone path's delay had agent 2k+1 used it instead: remove the
+	// agent's contribution from its chosen path, then price the alternative
+	// with the agent's load added.
+	probe := cfg.Clone()
+	if err := probe.Reroute(star, alt); err != nil {
+		return nil, err
+	}
+	return &Fig6Result{
+		GreedyFinalDelay:      cfg.AgentDelay(star),
+		AlternativeFinalDelay: probe.AgentDelay(star),
+		Config:                cfg,
+	}, nil
+}

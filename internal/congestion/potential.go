@@ -1,0 +1,48 @@
+package congestion
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// WeightedLinearPotential computes the weighted potential of Fotakis,
+// Kontogiannis and Spirakis (the paper's reference [13]) for configurations
+// over LINEAR delay functions de(x) = a·x + b:
+//
+//	Φ(π) = Σ_e [ (a_e/2)·(W_e² + Σ_{i∈πi∋e} w_i²) + b_e·W_e ]
+//
+// A unilateral reroute by agent i changes Φ by exactly w_i·Δλ_i, so
+// best-response dynamics strictly decrease Φ and weighted congestion games
+// with linear delays always possess pure equilibria. The exactness of the
+// identity is pinned by a property test. It returns an error when any edge's
+// delay function is not linear.
+func (c *Config) WeightedLinearPotential() (*big.Rat, error) {
+	// Per-edge sum of squared weights of the agents using the edge.
+	sqSums := make([]*big.Rat, c.net.NumEdges())
+	for e := range sqSums {
+		sqSums[e] = new(big.Rat)
+	}
+	for _, a := range c.agents {
+		w2 := numeric.Mul(a.Load, a.Load)
+		for _, e := range a.Path {
+			sqSums[e].Add(sqSums[e], w2)
+		}
+	}
+
+	total := numeric.Zero()
+	half := numeric.R(1, 2)
+	for e := 0; e < c.net.NumEdges(); e++ {
+		lin, ok := c.net.Edge(e).Delay.(*LinearDelay)
+		if !ok {
+			return nil, fmt.Errorf("congestion: edge %d has non-linear delay %s",
+				e, c.net.Edge(e).Delay)
+		}
+		we := c.loads[e]
+		quad := numeric.Mul(lin.A, numeric.Add(numeric.Mul(we, we), sqSums[e]))
+		term := numeric.Add(numeric.Mul(half, quad), numeric.Mul(lin.B, we))
+		total = numeric.Add(total, term)
+	}
+	return total, nil
+}

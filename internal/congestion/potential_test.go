@@ -1,0 +1,166 @@
+package congestion
+
+import (
+	"math/rand"
+	"testing"
+
+	"rationality/internal/numeric"
+)
+
+func TestWeightedLinearPotentialRejectsNonLinear(t *testing.T) {
+	net := MustNetwork(2)
+	mono, err := NewMonomialDelay(numeric.One(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.MustAddEdge(0, 1, mono)
+	c := NewConfig(net)
+	if _, err := c.WeightedLinearPotential(); err == nil {
+		t.Fatal("non-linear delay accepted")
+	}
+}
+
+func TestWeightedLinearPotentialEmptyIsZero(t *testing.T) {
+	net := MustNetwork(2)
+	net.MustAddEdge(0, 1, Identity())
+	c := NewConfig(net)
+	phi, err := c.WeightedLinearPotential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi.Sign() != 0 {
+		t.Fatalf("Φ of the empty configuration = %s", phi.RatString())
+	}
+}
+
+func TestWeightedLinearPotentialHandComputed(t *testing.T) {
+	// One identity link with two agents of loads 1 and 2: W = 3, Σw² = 5,
+	// Φ = (1/2)(9 + 5) = 7.
+	net := MustNetwork(2)
+	l := net.MustAddEdge(0, 1, Identity())
+	c := NewConfig(net)
+	if _, err := c.Join(0, 1, numeric.One(), Path{l}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(0, 1, numeric.I(2), Path{l}); err != nil {
+		t.Fatal(err)
+	}
+	phi, err := c.WeightedLinearPotential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi.RatString() != "7" {
+		t.Fatalf("Φ = %s, want 7", phi.RatString())
+	}
+}
+
+// The defining identity, checked EXACTLY on random weighted configurations:
+// a unilateral reroute by agent i changes Φ by w_i·(λ_i(after) − λ_i(before)).
+func TestWeightedPotentialIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 120; trial++ {
+		// Random 2-node network with parallel heterogeneous linear links.
+		m := 2 + rng.Intn(4)
+		net := MustNetwork(2)
+		for j := 0; j < m; j++ {
+			lin, err := NewLinearDelay(
+				numeric.R(int64(rng.Intn(4)+1), int64(rng.Intn(3)+1)),
+				numeric.R(int64(rng.Intn(5)), 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.MustAddEdge(0, 1, lin)
+		}
+		c := NewConfig(net)
+		agents := 1 + rng.Intn(6)
+		for i := 0; i < agents; i++ {
+			w := numeric.R(int64(rng.Intn(5)+1), int64(rng.Intn(2)+1))
+			if _, err := c.Join(0, 1, w, Path{rng.Intn(m)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Reroute a random agent to a random link.
+		i := rng.Intn(agents)
+		target := Path{rng.Intn(m)}
+
+		before, err := c.WeightedLinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		costBefore := c.AgentDelay(i)
+		if err := c.Reroute(i, target); err != nil {
+			t.Fatal(err)
+		}
+		after, err := c.WeightedLinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		costAfter := c.AgentDelay(i)
+
+		lhs := numeric.Sub(after, before)
+		rhs := numeric.Mul(c.Agent(i).Load, numeric.Sub(costAfter, costBefore))
+		if !numeric.Eq(lhs, rhs) {
+			t.Fatalf("trial %d: ΔΦ = %s but w·Δλ = %s", trial, lhs.RatString(), rhs.RatString())
+		}
+	}
+}
+
+// Corollary: weighted best-response dynamics with linear delays converge
+// (Φ strictly decreases along improving moves).
+func TestWeightedBestResponseConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 15; trial++ {
+		m := 2 + rng.Intn(3)
+		net := MustNetwork(2)
+		for j := 0; j < m; j++ {
+			net.MustAddEdge(0, 1, Identity())
+		}
+		c := NewConfig(net)
+		agents := 2 + rng.Intn(5)
+		for i := 0; i < agents; i++ {
+			w := numeric.I(int64(rng.Intn(9) + 1))
+			if _, err := c.Join(0, 1, w, Path{0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev, err := c.WeightedLinearPotential()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 500; step++ {
+			improved := false
+			for i := 0; i < agents; i++ {
+				p, best, err := c.BestResponsePath(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if numeric.Lt(best, c.AgentDelay(i)) {
+					if err := c.Reroute(i, p); err != nil {
+						t.Fatal(err)
+					}
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+			phi, err := c.WeightedLinearPotential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.Lt(phi, prev) {
+				t.Fatalf("trial %d: Φ did not decrease: %s -> %s", trial, prev.RatString(), phi.RatString())
+			}
+			prev = phi
+		}
+		eq, err := c.IsPureEquilibrium()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: weighted dynamics did not converge", trial)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package congestion
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// ErrNoPath is returned when the sink is unreachable from the source.
+var ErrNoPath = errors.New("congestion: sink unreachable from source")
+
+// ShortestPath returns the minimum-delay path for a NEW agent of load w
+// joining the current configuration: edge e costs de(We + w), the delay the
+// agent would experience on it. This is the greedy best reply at arrival
+// time (§6). Delays of non-decreasing functions are non-negative here, so
+// Dijkstra applies; ties are broken deterministically towards lower node and
+// edge IDs, matching Fig. 6's narrative where agent 2k+1 picks a→b→d.
+func ShortestPath(c *Config, src, sink int, w *big.Rat) (Path, *big.Rat, error) {
+	net := c.net
+	if src < 0 || src >= net.NumNodes() || sink < 0 || sink >= net.NumNodes() {
+		return nil, nil, fmt.Errorf("congestion: endpoints (%d, %d) out of range", src, sink)
+	}
+	if w.Sign() <= 0 {
+		return nil, nil, fmt.Errorf("congestion: load must be positive")
+	}
+
+	dist := make([]*big.Rat, net.NumNodes())
+	prevEdge := make([]int, net.NumNodes())
+	done := make([]bool, net.NumNodes())
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	dist[src] = numeric.Zero()
+
+	pq := &nodeHeap{}
+	heap.Init(pq)
+	heap.Push(pq, nodeItem{node: src, dist: numeric.Zero()})
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == sink {
+			break
+		}
+		for _, id := range net.out[u] {
+			e := net.edges[id]
+			cost := e.Delay.Eval(numeric.Add(c.loads[id], w))
+			if cost.Sign() < 0 {
+				return nil, nil, fmt.Errorf("congestion: negative delay on edge %d", id)
+			}
+			nd := numeric.Add(dist[u], cost)
+			v := e.To
+			if dist[v] == nil || numeric.Lt(nd, dist[v]) ||
+				(numeric.Eq(nd, dist[v]) && betterTieBreak(prevEdge[v], id)) {
+				dist[v] = nd
+				prevEdge[v] = id
+				heap.Push(pq, nodeItem{node: v, dist: nd})
+			}
+		}
+	}
+
+	if dist[sink] == nil {
+		return nil, nil, ErrNoPath
+	}
+	if src == sink {
+		return nil, nil, fmt.Errorf("congestion: source equals sink; no edge to traverse")
+	}
+
+	// Reconstruct the path backwards through prevEdge.
+	var rev Path
+	at := sink
+	for at != src {
+		id := prevEdge[at]
+		if id < 0 {
+			return nil, nil, ErrNoPath
+		}
+		rev = append(rev, id)
+		at = net.edges[id].From
+	}
+	p := make(Path, len(rev))
+	for i, id := range rev {
+		p[len(rev)-1-i] = id
+	}
+	return p, dist[sink], nil
+}
+
+// betterTieBreak prefers the lower edge ID on equal distance, which makes
+// path selection deterministic.
+func betterTieBreak(current, candidate int) bool {
+	return current < 0 || candidate < current
+}
+
+type nodeItem struct {
+	node int
+	dist *big.Rat
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if c := h[i].dist.Cmp(h[j].dist); c != 0 {
+		return c < 0
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,98 @@
+package congestion
+
+import (
+	"container/heap"
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// §6: "The goal of the inventor is to minimize total congestion
+// Λ(π(n)) = Σ_e de(π(n))". MarginalCostStrategy is the inventor-side
+// routing rule for general networks: route each arriving agent along the
+// path that minimizes the marginal increase of Λ, i.e. with edge cost
+// de(We + w) − de(We) >= 0 (non-negative because delays are non-decreasing).
+// On parallel identity links it coincides with greedy; on heterogeneous
+// networks it trades the agent's own delay against system congestion, which
+// is exactly the advice an operator-inventor would give.
+
+// MarginalCostStrategy implements Strategy for the inventor's objective.
+type MarginalCostStrategy struct{}
+
+// ChoosePath implements Strategy.
+func (MarginalCostStrategy) ChoosePath(c *Config, a Arrival, _ int) (Path, error) {
+	return marginalShortestPath(c, a.Source, a.Sink, a.Load)
+}
+
+// marginalShortestPath is Dijkstra with edge cost de(We + w) − de(We).
+func marginalShortestPath(c *Config, src, sink int, w *big.Rat) (Path, error) {
+	net := c.net
+	if src < 0 || src >= net.NumNodes() || sink < 0 || sink >= net.NumNodes() {
+		return nil, fmt.Errorf("congestion: endpoints (%d, %d) out of range", src, sink)
+	}
+	if w.Sign() <= 0 {
+		return nil, fmt.Errorf("congestion: load must be positive")
+	}
+	if src == sink {
+		return nil, fmt.Errorf("congestion: source equals sink")
+	}
+
+	dist := make([]*big.Rat, net.NumNodes())
+	prevEdge := make([]int, net.NumNodes())
+	done := make([]bool, net.NumNodes())
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	dist[src] = numeric.Zero()
+
+	pq := &nodeHeap{}
+	heap.Init(pq)
+	heap.Push(pq, nodeItem{node: src, dist: numeric.Zero()})
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == sink {
+			break
+		}
+		for _, id := range net.out[u] {
+			e := net.edges[id]
+			after := e.Delay.Eval(numeric.Add(c.loads[id], w))
+			before := e.Delay.Eval(c.loads[id])
+			cost := numeric.Sub(after, before)
+			if cost.Sign() < 0 {
+				return nil, fmt.Errorf("congestion: decreasing delay on edge %d", id)
+			}
+			nd := numeric.Add(dist[u], cost)
+			v := e.To
+			if dist[v] == nil || numeric.Lt(nd, dist[v]) ||
+				(numeric.Eq(nd, dist[v]) && betterTieBreak(prevEdge[v], id)) {
+				dist[v] = nd
+				prevEdge[v] = id
+				heap.Push(pq, nodeItem{node: v, dist: nd})
+			}
+		}
+	}
+	if dist[sink] == nil {
+		return nil, ErrNoPath
+	}
+	var rev Path
+	at := sink
+	for at != src {
+		id := prevEdge[at]
+		if id < 0 {
+			return nil, ErrNoPath
+		}
+		rev = append(rev, id)
+		at = net.edges[id].From
+	}
+	p := make(Path, len(rev))
+	for i, id := range rev {
+		p[len(rev)-1-i] = id
+	}
+	return p, nil
+}

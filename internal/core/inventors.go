@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/game"
+	"rationality/internal/interactive"
+	"rationality/internal/numeric"
+	"rationality/internal/participation"
+	"rationality/internal/proof"
+)
+
+// This file holds the inventor-side announcement builders: the (possibly
+// expensive) computations that produce advice plus proof for each supported
+// format. Dishonest variants forge the advice so the framework's detection
+// path can be exercised end to end.
+
+// AnnounceEnumeration computes a maximal pure Nash equilibrium of the game,
+// builds its §3 enumeration certificate, and packages the announcement.
+func AnnounceEnumeration(inventorID string, g *game.Game, mode proof.Mode) (Announcement, error) {
+	pf, err := proof.BuildBestAdvice(g, mode)
+	if err != nil {
+		return Announcement{}, fmt.Errorf("core: inventor cannot prove advice: %w", err)
+	}
+	proofBody, err := pf.Marshal()
+	if err != nil {
+		return Announcement{}, err
+	}
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatEnumeration,
+		Game:       mustJSON(SpecFromGame(g)),
+		Advice:     mustJSON(pf.Advised),
+		Proof:      proofBody,
+	}, nil
+}
+
+// AnnounceEnumerationForged is AnnounceEnumeration with the advice switched
+// to an arbitrary profile after the proof was built — the forgery an honest
+// verifier must catch.
+func AnnounceEnumerationForged(inventorID string, g *game.Game, forged game.Profile) (Announcement, error) {
+	ann, err := AnnounceEnumeration(inventorID, g, proof.MaxNash)
+	if err != nil {
+		return Announcement{}, err
+	}
+	ann.Advice = mustJSON(forged)
+	return ann, nil
+}
+
+// AnnounceP1 computes a mixed equilibrium of the bimatrix game by support
+// enumeration (the PPAD-hard step) and announces only the supports, P1
+// style: the proof body is empty, the verifier re-derives everything.
+func AnnounceP1(inventorID, name string, g *bimatrix.Game) (Announcement, error) {
+	advice, _, err := interactive.BuildP1Advice(g)
+	if err != nil {
+		return Announcement{}, err
+	}
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatP1,
+		Game:       mustJSON(SpecFromBimatrix(name, g)),
+		Advice:     mustJSON(advice),
+	}, nil
+}
+
+// AnnounceP1Forged announces supports that do not correspond to any
+// equilibrium of the game.
+func AnnounceP1Forged(inventorID, name string, g *bimatrix.Game, rowSupport, colSupport []int) Announcement {
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatP1,
+		Game:       mustJSON(SpecFromBimatrix(name, g)),
+		Advice: mustJSON(&interactive.P1Advice{
+			RowSupport: rowSupport,
+			ColSupport: colSupport,
+			Rows:       g.Rows(),
+			Cols:       g.Cols(),
+		}),
+	}
+}
+
+// AnnounceNAgent packages a known mixed equilibrium of an n-agent game as a
+// Remark 1 announcement.
+func AnnounceNAgent(inventorID string, g *game.Game, mp game.MixedProfile) (Announcement, error) {
+	advice, err := interactive.BuildNAgentAdvice(g, mp)
+	if err != nil {
+		return Announcement{}, err
+	}
+	probs := make([]VecSpec, len(advice.Probs))
+	for i, v := range advice.Probs {
+		probs[i] = SpecFromVec(v)
+	}
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatNAgent,
+		Game:       mustJSON(SpecFromGame(g)),
+		Advice:     mustJSON(NAgentAdviceSpec{Supports: advice.Supports, Probs: probs}),
+	}, nil
+}
+
+// AnnounceParticipation solves the §5 symmetric equilibrium exactly (trying
+// small denominators first, then bisection with the given tolerance) and
+// announces p. With an exact root the advice carries no tolerance and the
+// verifier's check is exact.
+func AnnounceParticipation(inventorID, name string, g *participation.Game, branch participation.Branch) (Announcement, error) {
+	spec := ParticipationAdviceSpec{}
+	if p, ok := g.SolveExact(branch, 64); ok {
+		spec.P = p.RatString()
+	} else {
+		tol := numeric.R(1, 1<<30)
+		p, _, err := g.Solve(branch, tol)
+		if err != nil {
+			return Announcement{}, err
+		}
+		spec.P = p.RatString()
+		// The verifier tolerance must cover the residual gap: scale the
+		// bisection tolerance by a safe constant.
+		spec.Tolerance = numeric.Mul(numeric.Mul(g.V(), numeric.I(int64(g.N()*g.N()))), tol).RatString()
+	}
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatParticipation,
+		Game:       mustJSON(SpecFromParticipation(name, g)),
+		Advice:     mustJSON(spec),
+	}, nil
+}
+
+// AnnounceParticipationForged announces an arbitrary probability as the
+// equilibrium.
+func AnnounceParticipationForged(inventorID, name string, g *participation.Game, p string) Announcement {
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatParticipation,
+		Game:       mustJSON(SpecFromParticipation(name, g)),
+		Advice:     mustJSON(ParticipationAdviceSpec{P: p}),
+	}
+}

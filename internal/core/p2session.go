@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"rationality/internal/commitment"
+	"rationality/internal/interactive"
+	"rationality/internal/numeric"
+	"rationality/internal/transport"
+)
+
+// This file runs the §4 interactive proof P2 across the transport layer:
+// the prover (inventor) is a service, the verifier (agent) drives the
+// protocol through a client. The interactive.P2Prover seam stays identical,
+// so the same verifier code runs against an in-process prover, a TCP
+// prover, or any adversarial implementation.
+
+// P2 protocol message types.
+const (
+	// MsgP2Offer: verifier → prover. Payload P2OfferRequest; reply
+	// P2OfferResponse.
+	MsgP2Offer = "p2-offer"
+	// MsgP2Open: verifier → prover. Payload P2OpenRequest; reply
+	// P2OpenResponse.
+	MsgP2Open = "p2-open"
+)
+
+// P2OfferRequest asks for the opening message addressed to a role.
+type P2OfferRequest struct {
+	Role interactive.Role `json:"role"`
+}
+
+// P2OfferResponse is the wire form of interactive.P2Offer.
+type P2OfferResponse struct {
+	Role        interactive.Role `json:"role"`
+	OwnSupport  []int            `json:"ownSupport"`
+	OwnProbs    VecSpec          `json:"ownProbs"`
+	LambdaOwn   string           `json:"lambdaOwn"`
+	LambdaOther string           `json:"lambdaOther"`
+	// Commitments are the 32-byte membership commitments, in index order.
+	Commitments [][]byte `json:"commitments"`
+}
+
+// P2OpenRequest asks the prover to open one membership commitment.
+type P2OpenRequest struct {
+	Role  interactive.Role `json:"role"`
+	Index int              `json:"index"`
+}
+
+// P2OpenResponse carries the opening.
+type P2OpenResponse struct {
+	Opening commitment.Opening `json:"opening"`
+}
+
+// P2ProverService exposes a P2Prover (typically interactive.HonestProver)
+// over a transport.
+type P2ProverService struct {
+	prover interactive.P2Prover
+}
+
+var _ transport.Handler = (*P2ProverService)(nil)
+
+// NewP2ProverService wraps a prover.
+func NewP2ProverService(p interactive.P2Prover) (*P2ProverService, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil P2 prover")
+	}
+	return &P2ProverService{prover: p}, nil
+}
+
+// Handle implements transport.Handler.
+func (s *P2ProverService) Handle(_ context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case MsgP2Offer:
+		var or P2OfferRequest
+		if err := req.Decode(&or); err != nil {
+			return transport.Message{}, err
+		}
+		offer, err := s.prover.Offer(or.Role)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		resp := P2OfferResponse{
+			Role:        offer.Role,
+			OwnSupport:  offer.OwnSupport,
+			OwnProbs:    SpecFromVec(offer.OwnProbs),
+			LambdaOwn:   offer.LambdaOwn.RatString(),
+			LambdaOther: offer.LambdaOther.RatString(),
+		}
+		resp.Commitments = make([][]byte, len(offer.MembershipCommitments))
+		for i, c := range offer.MembershipCommitments {
+			cc := c // copy the array before slicing it
+			resp.Commitments[i] = cc[:]
+		}
+		return transport.NewMessage("p2-offer-response", resp)
+	case MsgP2Open:
+		var or P2OpenRequest
+		if err := req.Decode(&or); err != nil {
+			return transport.Message{}, err
+		}
+		open, err := s.prover.OpenMembership(or.Role, or.Index)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("p2-open-response", P2OpenResponse{Opening: *open})
+	default:
+		return transport.Message{}, fmt.Errorf("core: P2 prover cannot handle %q", req.Type)
+	}
+}
+
+// RemoteP2Prover adapts a transport client into an interactive.P2Prover, so
+// interactive.VerifyP2 can drive a prover on another machine.
+type RemoteP2Prover struct {
+	client transport.Client
+	ctx    context.Context
+}
+
+var _ interactive.P2Prover = (*RemoteP2Prover)(nil)
+
+// NewRemoteP2Prover wraps a client. The context bounds every round trip.
+func NewRemoteP2Prover(ctx context.Context, c transport.Client) *RemoteP2Prover {
+	return &RemoteP2Prover{client: c, ctx: ctx}
+}
+
+// Offer implements interactive.P2Prover.
+func (r *RemoteP2Prover) Offer(role interactive.Role) (*interactive.P2Offer, error) {
+	req, err := transport.NewMessage(MsgP2Offer, P2OfferRequest{Role: role})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Call(r.ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var or P2OfferResponse
+	if err := resp.Decode(&or); err != nil {
+		return nil, err
+	}
+	probs, err := or.OwnProbs.ToVec()
+	if err != nil {
+		return nil, err
+	}
+	lambdaOwn, err := parseWireRat(or.LambdaOwn)
+	if err != nil {
+		return nil, err
+	}
+	lambdaOther, err := parseWireRat(or.LambdaOther)
+	if err != nil {
+		return nil, err
+	}
+	offer := &interactive.P2Offer{
+		Role:        or.Role,
+		OwnSupport:  or.OwnSupport,
+		OwnProbs:    probs,
+		LambdaOwn:   lambdaOwn,
+		LambdaOther: lambdaOther,
+	}
+	offer.MembershipCommitments = make([]commitment.Commitment, len(or.Commitments))
+	for i, raw := range or.Commitments {
+		if len(raw) != len(commitment.Commitment{}) {
+			return nil, fmt.Errorf("core: commitment %d has %d bytes", i, len(raw))
+		}
+		copy(offer.MembershipCommitments[i][:], raw)
+	}
+	return offer, nil
+}
+
+// OpenMembership implements interactive.P2Prover.
+func (r *RemoteP2Prover) OpenMembership(role interactive.Role, index int) (*commitment.Opening, error) {
+	req, err := transport.NewMessage(MsgP2Open, P2OpenRequest{Role: role, Index: index})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Call(r.ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var or P2OpenResponse
+	if err := resp.Decode(&or); err != nil {
+		return nil, err
+	}
+	return &or.Opening, nil
+}
+
+func parseWireRat(s string) (*big.Rat, error) {
+	v, err := numeric.ParseRat(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: wire rational: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/interactive"
+	"rationality/internal/transport"
+)
+
+func p2TestGame(t *testing.T) (*bimatrix.Game, *bimatrix.Equilibrium) {
+	t.Helper()
+	g := bimatrix.FromInts(
+		[][]int64{{1, -1}, {-1, 1}},
+		[][]int64{{-1, 1}, {1, -1}},
+	)
+	eq, err := g.FindEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, eq
+}
+
+func TestP2OverInProcTransport(t *testing.T) {
+	g, eq := p2TestGame(t)
+	honest, err := interactive.NewHonestProver(g, eq, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewP2ProverService(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemoteP2Prover(context.Background(), transport.DialInProc(svc))
+	for _, role := range []interactive.Role{interactive.RowAgent, interactive.ColAgent} {
+		report, err := interactive.VerifyP2(g, role, remote, interactive.P2Config{
+			Rng: rand.New(rand.NewSource(2)),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", role, err)
+		}
+		if !report.Accepted {
+			t.Fatalf("%v: honest remote prover rejected", role)
+		}
+	}
+}
+
+func TestP2OverTCP(t *testing.T) {
+	g, eq := p2TestGame(t)
+	honest, err := interactive.NewHonestProver(g, eq, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewP2ProverService(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.ListenTCP("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := transport.DialTCP(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	remote := NewRemoteP2Prover(ctx, client)
+	report, err := interactive.VerifyP2(g, interactive.RowAgent, remote, interactive.P2Config{
+		Rng: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Accepted {
+		t.Fatal("honest TCP prover rejected")
+	}
+	if report.Queries < 2 {
+		t.Errorf("suspiciously few queries: %d", report.Queries)
+	}
+}
+
+func TestP2OverTransportCatchesEquivocation(t *testing.T) {
+	g, eq := p2TestGame(t)
+	honest, err := interactive.NewHonestProver(g, eq, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liar := &interactive.EquivocatingProver{HonestProver: honest}
+	svc, err := NewP2ProverService(liar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemoteP2Prover(context.Background(), transport.DialInProc(svc))
+	if _, err := interactive.VerifyP2(g, interactive.RowAgent, remote, interactive.P2Config{
+		Rng: rand.New(rand.NewSource(6)),
+	}); err == nil {
+		t.Fatal("equivocating prover accepted over the transport")
+	}
+}
+
+func TestP2ProverServiceValidation(t *testing.T) {
+	if _, err := NewP2ProverService(nil); err == nil {
+		t.Error("nil prover accepted")
+	}
+	g, eq := p2TestGame(t)
+	honest, err := interactive.NewHonestProver(g, eq, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewP2ProverService(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := transport.DialInProc(svc)
+	req, _ := transport.NewMessage("nonsense", struct{}{})
+	if _, err := c.Call(context.Background(), req); err == nil {
+		t.Error("unknown message accepted")
+	}
+	// Out-of-range open request surfaces as an application error.
+	req2, _ := transport.NewMessage(MsgP2Open, P2OpenRequest{Role: interactive.RowAgent, Index: 99})
+	if _, err := c.Call(context.Background(), req2); err == nil {
+		t.Error("out-of-range open accepted")
+	}
+}

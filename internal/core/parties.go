@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+)
+
+// Protocol message types.
+const (
+	// MsgAnnounce: agent → inventor. Empty payload; the reply is an
+	// Announcement.
+	MsgAnnounce = "announce"
+	// MsgVerify: agent → verifier. Payload VerifyRequest; reply
+	// VerifyResponse.
+	MsgVerify = "verify"
+	// MsgFormats: agent → verifier. Empty payload; reply FormatsResponse.
+	MsgFormats = "formats"
+)
+
+// Announcement is the inventor's message of Fig. 1: the game G, the
+// suggested actions (advice), and a checkable proof of their feasibility and
+// optimality in an agreed-upon format.
+type Announcement struct {
+	InventorID string          `json:"inventorId"`
+	Format     string          `json:"format"`
+	Game       json.RawMessage `json:"game"`
+	Advice     json.RawMessage `json:"advice"`
+	Proof      json.RawMessage `json:"proof,omitempty"`
+	// Signature, when present, is the inventor's Ed25519 signature over the
+	// other fields (see SignAnnouncement); InventorID is then the signer's
+	// self-certifying identity.
+	Signature []byte `json:"signature,omitempty"`
+}
+
+// VerifyRequest asks a verifier to check an announcement.
+type VerifyRequest struct {
+	Format string          `json:"format"`
+	Game   json.RawMessage `json:"game"`
+	Advice json.RawMessage `json:"advice"`
+	Proof  json.RawMessage `json:"proof,omitempty"`
+}
+
+// VerifyResponse is the verifier's signed-by-reputation answer.
+type VerifyResponse struct {
+	VerifierID string  `json:"verifierId"`
+	Verdict    Verdict `json:"verdict"`
+}
+
+// FormatsResponse lists the proof formats a verifier can check.
+type FormatsResponse struct {
+	VerifierID string   `json:"verifierId"`
+	Formats    []string `json:"formats"`
+}
+
+// InventorService serves announcements over a transport. The announcement is
+// fixed at construction: one service per announced game, as in the paper's
+// single-game interaction.
+type InventorService struct {
+	announcement Announcement
+}
+
+var _ transport.Handler = (*InventorService)(nil)
+
+// NewInventorService wraps a prepared announcement.
+func NewInventorService(a Announcement) (*InventorService, error) {
+	if a.InventorID == "" {
+		return nil, fmt.Errorf("core: announcement needs an inventor ID")
+	}
+	if a.Format == "" || len(a.Game) == 0 || len(a.Advice) == 0 {
+		return nil, fmt.Errorf("core: announcement needs format, game, and advice")
+	}
+	return &InventorService{announcement: a}, nil
+}
+
+// Handle implements transport.Handler.
+func (s *InventorService) Handle(_ context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case MsgAnnounce:
+		return transport.NewMessage("announcement", s.announcement)
+	default:
+		return transport.Message{}, fmt.Errorf("core: inventor cannot handle %q", req.Type)
+	}
+}
+
+// VerifierService serves verification requests using a procedure registry —
+// the paper's trustable seller of verification procedures.
+type VerifierService struct {
+	id    string
+	procs *ProcedureRegistry
+	// corrupt, when set, flips every verdict — a test double for the
+	// "majority of verifiers is trusted" analysis. An honest deployment
+	// leaves it false.
+	corrupt bool
+}
+
+var _ transport.Handler = (*VerifierService)(nil)
+
+// NewVerifierService creates an honest verifier with the bundled procedures.
+func NewVerifierService(id string) (*VerifierService, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: verifier needs an ID")
+	}
+	return &VerifierService{id: id, procs: NewProcedureRegistry()}, nil
+}
+
+// NewCorruptVerifierService creates a verifier that always lies (flips its
+// verdicts). Used to exercise the majority-voting and reputation machinery.
+func NewCorruptVerifierService(id string) (*VerifierService, error) {
+	v, err := NewVerifierService(id)
+	if err != nil {
+		return nil, err
+	}
+	v.corrupt = true
+	return v, nil
+}
+
+// ID returns the verifier's identifier.
+func (s *VerifierService) ID() string { return s.id }
+
+// Register adds a custom procedure to this verifier.
+func (s *VerifierService) Register(p Procedure) { s.procs.Register(p) }
+
+// Handle implements transport.Handler.
+func (s *VerifierService) Handle(_ context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case MsgVerify:
+		var vr VerifyRequest
+		if err := req.Decode(&vr); err != nil {
+			return transport.Message{}, err
+		}
+		verdict, err := s.verify(vr)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("verdict", VerifyResponse{VerifierID: s.id, Verdict: *verdict})
+	case MsgFormats:
+		return transport.NewMessage("formats", FormatsResponse{
+			VerifierID: s.id,
+			Formats:    s.procs.Formats(),
+		})
+	default:
+		return transport.Message{}, fmt.Errorf("core: verifier cannot handle %q", req.Type)
+	}
+}
+
+func (s *VerifierService) verify(vr VerifyRequest) (*Verdict, error) {
+	proc, err := s.procs.Lookup(vr.Format)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := proc.Verify(vr.Game, vr.Advice, vr.Proof)
+	if err != nil {
+		// Unintelligible inputs: report as a rejection with the parse error,
+		// so the agent still gets a verdict to vote on.
+		verdict = &Verdict{Format: vr.Format, Reason: err.Error()}
+	}
+	if s.corrupt {
+		verdict.Accepted = !verdict.Accepted
+		if verdict.Accepted {
+			verdict.Reason = ""
+		} else {
+			verdict.Reason = "rejected" // a liar gives no useful evidence
+		}
+	}
+	return verdict, nil
+}
+
+// Agent is the counselee: it consults the (untrusted) inventor, has the
+// advice checked by its trusted verifiers, applies majority voting, updates
+// reputations, and only then adopts the advice.
+type Agent struct {
+	name      string
+	inventor  transport.Client
+	verifiers map[string]transport.Client
+	registry  *reputation.Registry
+	// threshold is the minimum reputation for a verifier to be consulted.
+	threshold float64
+	// requireSigned rejects unsigned announcements.
+	requireSigned bool
+}
+
+// AgentConfig configures an agent.
+type AgentConfig struct {
+	Name     string
+	Inventor transport.Client
+	// Verifiers maps verifier IDs to their clients.
+	Verifiers map[string]transport.Client
+	Registry  *reputation.Registry
+	// Threshold is the minimum reputation to include a verifier; default 0
+	// (consult all).
+	Threshold float64
+	// RequireSignedAnnouncements makes the agent reject announcements that
+	// carry no inventor signature (footnote 3 accountability). Signed
+	// announcements are always signature-checked regardless.
+	RequireSignedAnnouncements bool
+}
+
+// NewAgent validates and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: agent needs a name")
+	}
+	if cfg.Inventor == nil {
+		return nil, fmt.Errorf("core: agent needs an inventor client")
+	}
+	if len(cfg.Verifiers) == 0 {
+		return nil, fmt.Errorf("core: agent needs at least one verifier")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("core: agent needs a reputation registry")
+	}
+	verifiers := make(map[string]transport.Client, len(cfg.Verifiers))
+	for id, c := range cfg.Verifiers {
+		verifiers[id] = c
+	}
+	return &Agent{
+		name:          cfg.Name,
+		inventor:      cfg.Inventor,
+		verifiers:     verifiers,
+		registry:      cfg.Registry,
+		threshold:     cfg.Threshold,
+		requireSigned: cfg.RequireSignedAnnouncements,
+	}, nil
+}
+
+// ConsultResult is the outcome of one consultation round.
+type ConsultResult struct {
+	Announcement Announcement
+	// Verdicts holds each consulted verifier's answer.
+	Verdicts map[string]Verdict
+	// Accepted is the majority outcome: the advice is safe to adopt.
+	Accepted bool
+}
+
+// Consult performs the full Fig. 1 interaction: fetch the announcement,
+// fan it out to every trusted verifier, majority-vote the verdicts (updating
+// reputations), and report the inventor to the reputation system when the
+// majority rejects its proof.
+func (a *Agent) Consult(ctx context.Context) (*ConsultResult, error) {
+	req, err := transport.NewMessage(MsgAnnounce, struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.inventor.Call(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: consulting the inventor: %w", err)
+	}
+	var ann Announcement
+	if err := resp.Decode(&ann); err != nil {
+		return nil, err
+	}
+
+	// Accountability: a present signature must verify; absence is rejected
+	// only when the agent demands signed announcements.
+	if len(ann.Signature) > 0 {
+		if err := VerifyAnnouncementSignature(ann); err != nil {
+			return nil, err
+		}
+	} else if a.requireSigned {
+		return nil, ErrUnsignedAnnouncement
+	}
+
+	consulted := a.trustedVerifiers()
+	if len(consulted) == 0 {
+		return nil, fmt.Errorf("core: no verifier meets the reputation threshold %.2f", a.threshold)
+	}
+
+	verdicts := make(map[string]Verdict, len(consulted))
+	votes := make(map[string]bool, len(consulted))
+	for _, id := range consulted {
+		verdict, err := a.askVerifier(ctx, a.verifiers[id], ann)
+		if err != nil {
+			// An unreachable or erroring verifier abstains; it neither votes
+			// nor gains reputation.
+			continue
+		}
+		verdicts[id] = *verdict
+		votes[id] = verdict.Accepted
+	}
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("core: every verifier failed to answer")
+	}
+
+	accepted, err := a.registry.MajorityVote(votes)
+	if err != nil {
+		return nil, fmt.Errorf("core: no usable majority: %w", err)
+	}
+	if !accepted {
+		a.registry.ReportMisbehaviour(ann.InventorID,
+			fmt.Sprintf("agent %s: majority of %d verifiers rejected the %s proof",
+				a.name, len(votes), ann.Format))
+	}
+	return &ConsultResult{Announcement: ann, Verdicts: verdicts, Accepted: accepted}, nil
+}
+
+func (a *Agent) trustedVerifiers() []string {
+	var ids []string
+	for id := range a.verifiers {
+		if a.registry.Trusted(id, a.threshold) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (a *Agent) askVerifier(ctx context.Context, c transport.Client, ann Announcement) (*Verdict, error) {
+	req, err := transport.NewMessage(MsgVerify, VerifyRequest{
+		Format: ann.Format,
+		Game:   ann.Game,
+		Advice: ann.Advice,
+		Proof:  ann.Proof,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var vr VerifyResponse
+	if err := resp.Decode(&vr); err != nil {
+		return nil, err
+	}
+	return &vr.Verdict, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rationality/internal/links"
+)
+
+// FormatLinksRouting is §6's routing advice for parallel links, cast as a
+// checkable claim. The inventor publishes (per footnote 3, signed when the
+// deployment demands it) the current link loads and its statistics — the
+// total load observed and how many agents are still expected — and advises
+// a link. The inventor's strategy is a DETERMINISTIC function of those
+// declared inputs (the LPT Nash assignment of the agent's load plus the
+// expected future loads), so the verifier simply recomputes it: the advice
+// is the "empty proof" style of checkable claim, with the declared
+// statistics as the witness.
+const FormatLinksRouting = "links-routing/v1"
+
+// LinksRoutingSpec is the published context the advice is computed from.
+type LinksRoutingSpec struct {
+	// Loads are the current per-link total loads.
+	Loads []int64 `json:"loads"`
+	// AgentLoad is the consulting agent's own load.
+	AgentLoad int64 `json:"agentLoad"`
+	// Remaining is how many more agents the inventor expects after this one.
+	Remaining int `json:"remaining"`
+	// ObservedTotal and ObservedCount define the running average load
+	// statistic w̄ = ObservedTotal / ObservedCount (AgentLoad included).
+	ObservedTotal int64 `json:"observedTotal"`
+	ObservedCount int   `json:"observedCount"`
+}
+
+// LinksRoutingAdviceSpec is the advised link.
+type LinksRoutingAdviceSpec struct {
+	Link int `json:"link"`
+}
+
+// LinksRoutingProcedure recomputes the inventor's strategy from the
+// declared statistics and checks the advice matches.
+type LinksRoutingProcedure struct{}
+
+// Format implements Procedure.
+func (LinksRoutingProcedure) Format() string { return FormatLinksRouting }
+
+// Verify implements Procedure.
+func (LinksRoutingProcedure) Verify(gameSpec, advice, _ json.RawMessage) (*Verdict, error) {
+	var spec LinksRoutingSpec
+	if err := json.Unmarshal(gameSpec, &spec); err != nil {
+		return nil, fmt.Errorf("core: links-routing spec: %w", err)
+	}
+	var advSpec LinksRoutingAdviceSpec
+	if err := json.Unmarshal(advice, &advSpec); err != nil {
+		return nil, fmt.Errorf("core: links-routing advice: %w", err)
+	}
+
+	verdict := &Verdict{Format: FormatLinksRouting, Details: map[string]string{}}
+	if len(spec.Loads) == 0 {
+		verdict.Reason = "no links declared"
+		return verdict, nil
+	}
+	if spec.AgentLoad <= 0 || spec.ObservedCount <= 0 || spec.ObservedTotal < spec.AgentLoad || spec.Remaining < 0 {
+		verdict.Reason = fmt.Sprintf("inconsistent statistics: load=%d observed=%d/%d remaining=%d",
+			spec.AgentLoad, spec.ObservedTotal, spec.ObservedCount, spec.Remaining)
+		return verdict, nil
+	}
+	if advSpec.Link < 0 || advSpec.Link >= len(spec.Loads) {
+		verdict.Reason = fmt.Sprintf("advised link %d out of range [0, %d)", advSpec.Link, len(spec.Loads))
+		return verdict, nil
+	}
+
+	sys, err := links.NewSystem(len(spec.Loads))
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range spec.Loads {
+		if l < 0 {
+			verdict.Reason = fmt.Sprintf("negative load on link %d", i)
+			return verdict, nil
+		}
+		if err := sys.Assign(i, l); err != nil {
+			return nil, err
+		}
+	}
+	want := links.Inventor{}.Choose(sys, spec.AgentLoad, spec.Remaining, spec.ObservedTotal, spec.ObservedCount)
+	verdict.Details["recomputedLink"] = fmt.Sprint(want)
+	verdict.Details["greedyLink"] = fmt.Sprint(sys.LeastLoaded())
+	if advSpec.Link != want {
+		verdict.Reason = fmt.Sprintf("advised link %d but the declared statistics yield link %d",
+			advSpec.Link, want)
+		return verdict, nil
+	}
+	verdict.Accepted = true
+	return verdict, nil
+}
+
+// AnnounceLinksRouting computes the honest routing advice for the published
+// context.
+func AnnounceLinksRouting(inventorID string, spec LinksRoutingSpec) (Announcement, error) {
+	sys, err := links.NewSystem(len(spec.Loads))
+	if err != nil {
+		return Announcement{}, err
+	}
+	for i, l := range spec.Loads {
+		if err := sys.Assign(i, l); err != nil {
+			return Announcement{}, err
+		}
+	}
+	link := links.Inventor{}.Choose(sys, spec.AgentLoad, spec.Remaining, spec.ObservedTotal, spec.ObservedCount)
+	return Announcement{
+		InventorID: inventorID,
+		Format:     FormatLinksRouting,
+		Game:       mustJSON(spec),
+		Advice:     mustJSON(LinksRoutingAdviceSpec{Link: link}),
+	}, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rationality/internal/game"
+	"rationality/internal/identity"
+	"rationality/internal/proof"
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+)
+
+func signedTestAnnouncement(t *testing.T, seed int64) (Announcement, *identity.KeyPair) {
+	t.Helper()
+	k, err := identity.NewKeyPairFrom(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := AnnounceEnumeration("placeholder", game.PrisonersDilemma(), proof.MaxNash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := SignAnnouncement(k, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed, k
+}
+
+func TestSignAnnouncementRoundTrip(t *testing.T) {
+	signed, k := signedTestAnnouncement(t, 1)
+	if signed.InventorID != string(k.ID()) {
+		t.Error("inventor ID not rebound to the signer")
+	}
+	if err := VerifyAnnouncementSignature(signed); err != nil {
+		t.Fatalf("honest signature rejected: %v", err)
+	}
+}
+
+func TestSignAnnouncementValidation(t *testing.T) {
+	if _, err := SignAnnouncement(nil, Announcement{}); err == nil {
+		t.Error("nil key pair accepted")
+	}
+	if err := VerifyAnnouncementSignature(Announcement{}); !errors.Is(err, ErrUnsignedAnnouncement) {
+		t.Errorf("err = %v, want ErrUnsignedAnnouncement", err)
+	}
+}
+
+func TestSignatureDetectsTampering(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(a *Announcement)
+	}{
+		{"advice swapped", func(a *Announcement) { a.Advice = mustJSON(game.Profile{0, 0}) }},
+		{"format swapped", func(a *Announcement) { a.Format = FormatP1 }},
+		{"game swapped", func(a *Announcement) { a.Game = mustJSON(SpecFromGame(game.BattleOfSexes())) }},
+		{"proof truncated", func(a *Announcement) { a.Proof = a.Proof[:len(a.Proof)-2] }},
+		{"identity swapped", func(a *Announcement) { a.InventorID = "someone-else" }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			signed, _ := signedTestAnnouncement(t, 2)
+			m.mutate(&signed)
+			if err := VerifyAnnouncementSignature(signed); err == nil {
+				t.Fatal("tampered announcement accepted")
+			}
+		})
+	}
+}
+
+func TestAgentAcceptsSignedAnnouncement(t *testing.T) {
+	signed, _ := signedTestAnnouncement(t, 3)
+	agent, _ := newTestAgent(t, signed, []string{"v1", "v2", "v3"}, nil)
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("signed honest announcement rejected")
+	}
+}
+
+func TestAgentRejectsTamperedSignedAnnouncement(t *testing.T) {
+	signed, _ := signedTestAnnouncement(t, 4)
+	signed.Advice = mustJSON(game.Profile{0, 0})
+	agent, _ := newTestAgent(t, signed, []string{"v1", "v2", "v3"}, nil)
+	if _, err := agent.Consult(context.Background()); err == nil {
+		t.Fatal("tampered signed announcement consulted successfully")
+	}
+}
+
+func TestAgentCanRequireSignatures(t *testing.T) {
+	unsigned, err := AnnounceEnumeration("anon", game.PrisonersDilemma(), proof.MaxNash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inventor, err := NewInventorService(unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := NewVerifierService("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(AgentConfig{
+		Name:                       "strict",
+		Inventor:                   transport.DialInProc(inventor),
+		Verifiers:                  map[string]transport.Client{"v": transport.DialInProc(vs)},
+		Registry:                   reputation.NewRegistry(),
+		RequireSignedAnnouncements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Consult(context.Background()); !errors.Is(err, ErrUnsignedAnnouncement) {
+		t.Fatalf("err = %v, want ErrUnsignedAnnouncement", err)
+	}
+}
+
+// A forging inventor that SIGNS its forgery is still caught by the
+// verifiers, and the misbehaviour report is now bound to its key.
+func TestSignedForgeryStillCaughtAndAttributed(t *testing.T) {
+	k, err := identity.NewKeyPairFrom(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := AnnounceEnumerationForged("x", game.PrisonersDilemma(), game.Profile{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := SignAnnouncement(k, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, registry := newTestAgent(t, signed, []string{"v1", "v2", "v3"}, nil)
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("signed forgery accepted")
+	}
+	if registry.Reputation(string(k.ID())) >= 0.5 {
+		t.Error("forger's key-bound reputation did not drop")
+	}
+}

@@ -1,0 +1,182 @@
+package game
+
+import "rationality/internal/numeric"
+
+// Dominance analysis. The paper's related work (Tadjouddine [29]) notes
+// that verifying a dominant-strategy equilibrium is NP-complete in general
+// encodings; for the dense strategic-form games this package materializes,
+// the checks below are polynomial in the (already exponential) profile
+// count, mirroring the enumeration trade-off of §3.
+
+// DominanceKind distinguishes strict from weak dominance.
+type DominanceKind int
+
+// Dominance kinds.
+const (
+	// Strict: strictly better against every opponent profile.
+	Strict DominanceKind = iota + 1
+	// Weak: at least as good everywhere, strictly better somewhere.
+	Weak
+)
+
+func (k DominanceKind) String() string {
+	switch k {
+	case Strict:
+		return "strict"
+	case Weak:
+		return "weak"
+	default:
+		return "unknown"
+	}
+}
+
+// Dominates reports whether agent i's strategy si dominates its strategy ti
+// (strictly or weakly per kind), i.e. for every combination of the other
+// agents' strategies.
+func (g *Game) Dominates(i, si, ti int, kind DominanceKind) bool {
+	if si == ti {
+		return false
+	}
+	strictlyBetterSomewhere := false
+	dominated := true
+	g.ForEachProfile(func(p Profile) bool {
+		if p[i] != ti {
+			return true // only compare against profiles where i plays ti
+		}
+		uTi := g.Payoff(i, p)
+		uSi := g.Payoff(i, p.Change(i, si))
+		switch uSi.Cmp(uTi) {
+		case -1:
+			dominated = false
+			return false
+		case 1:
+			strictlyBetterSomewhere = true
+		case 0:
+			if kind == Strict {
+				dominated = false
+				return false
+			}
+		}
+		return true
+	})
+	if !dominated {
+		return false
+	}
+	if kind == Weak {
+		return strictlyBetterSomewhere
+	}
+	return true
+}
+
+// DominantStrategy returns agent i's strategy that dominates all its other
+// strategies (per kind), or ok = false when none exists.
+func (g *Game) DominantStrategy(i int, kind DominanceKind) (si int, ok bool) {
+	for cand := 0; cand < g.NumStrategies(i); cand++ {
+		dominatesAll := true
+		for other := 0; other < g.NumStrategies(i); other++ {
+			if other == cand {
+				continue
+			}
+			if !g.Dominates(i, cand, other, kind) {
+				dominatesAll = false
+				break
+			}
+		}
+		if dominatesAll {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// DominantEquilibrium returns the profile in which every agent plays a
+// dominant strategy of the given kind, or ok = false when some agent has
+// none. A dominant-strategy equilibrium is in particular a Nash equilibrium.
+func (g *Game) DominantEquilibrium(kind DominanceKind) (Profile, bool) {
+	p := make(Profile, g.NumAgents())
+	for i := 0; i < g.NumAgents(); i++ {
+		si, ok := g.DominantStrategy(i, kind)
+		if !ok {
+			return nil, false
+		}
+		p[i] = si
+	}
+	return p, true
+}
+
+// EliminateDominated performs iterated elimination of strictly dominated
+// strategies (IESDS) and returns, per agent, the surviving strategy indices
+// (in increasing order). The survivor set is order-independent for strict
+// dominance. Every Nash equilibrium survives IESDS.
+func (g *Game) EliminateDominated() [][]int {
+	alive := make([][]bool, g.NumAgents())
+	for i := range alive {
+		alive[i] = make([]bool, g.NumStrategies(i))
+		for s := range alive[i] {
+			alive[i][s] = true
+		}
+	}
+
+	// dominatesOnSubgame restricts the Dominates check to profiles whose
+	// strategies are all alive.
+	dominatesOnSubgame := func(i, si, ti int) bool {
+		dominated := true
+		g.ForEachProfile(func(p Profile) bool {
+			if p[i] != ti {
+				return true
+			}
+			for j, s := range p {
+				if j != i && !alive[j][s] {
+					return true // opponent profile eliminated
+				}
+			}
+			if numeric.Le(g.Payoff(i, p.Change(i, si)), g.Payoff(i, p)) {
+				dominated = false
+				return false
+			}
+			return true
+		})
+		return dominated
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < g.NumAgents(); i++ {
+			aliveCount := 0
+			for _, a := range alive[i] {
+				if a {
+					aliveCount++
+				}
+			}
+			if aliveCount <= 1 {
+				continue
+			}
+			for ti := 0; ti < g.NumStrategies(i) && aliveCount > 1; ti++ {
+				if !alive[i][ti] {
+					continue
+				}
+				for si := 0; si < g.NumStrategies(i); si++ {
+					if si == ti || !alive[i][si] {
+						continue
+					}
+					if dominatesOnSubgame(i, si, ti) {
+						alive[i][ti] = false
+						aliveCount--
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	out := make([][]int, g.NumAgents())
+	for i := range alive {
+		for s, a := range alive[i] {
+			if a {
+				out[i] = append(out[i], s)
+			}
+		}
+	}
+	return out
+}

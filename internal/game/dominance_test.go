@@ -1,0 +1,159 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"rationality/internal/numeric"
+)
+
+func TestDominatesPrisonersDilemma(t *testing.T) {
+	g := PrisonersDilemma()
+	// Defect (1) strictly dominates Cooperate (0) for both agents.
+	for i := 0; i < 2; i++ {
+		if !g.Dominates(i, 1, 0, Strict) {
+			t.Errorf("agent %d: defect should strictly dominate cooperate", i)
+		}
+		if g.Dominates(i, 0, 1, Strict) || g.Dominates(i, 0, 1, Weak) {
+			t.Errorf("agent %d: cooperate should not dominate defect", i)
+		}
+	}
+	// A strategy never dominates itself.
+	if g.Dominates(0, 1, 1, Strict) {
+		t.Error("self-domination reported")
+	}
+}
+
+func TestWeakVsStrictDominance(t *testing.T) {
+	// Row strategies: 0 ties 1 in column 0, beats it in column 1: weak, not
+	// strict.
+	g := NewBimatrix("weak",
+		[][]int64{{1, 2}, {1, 1}},
+		[][]int64{{0, 0}, {0, 0}},
+	)
+	if g.Dominates(0, 0, 1, Strict) {
+		t.Error("tie should break strict dominance")
+	}
+	if !g.Dominates(0, 0, 1, Weak) {
+		t.Error("weak dominance should hold")
+	}
+	// Identical payoffs: not even weak dominance (no strict improvement).
+	gg := NewBimatrix("equal",
+		[][]int64{{1, 1}, {1, 1}},
+		[][]int64{{0, 0}, {0, 0}},
+	)
+	if gg.Dominates(0, 0, 1, Weak) {
+		t.Error("payoff-identical strategies should not weakly dominate")
+	}
+}
+
+func TestDominantStrategyAndEquilibrium(t *testing.T) {
+	g := PrisonersDilemma()
+	s, ok := g.DominantStrategy(0, Strict)
+	if !ok || s != 1 {
+		t.Fatalf("DominantStrategy = %d ok=%v, want 1", s, ok)
+	}
+	p, ok := g.DominantEquilibrium(Strict)
+	if !ok || !p.Equal(Profile{1, 1}) {
+		t.Fatalf("DominantEquilibrium = %v ok=%v", p, ok)
+	}
+	// A dominant-strategy equilibrium is a Nash equilibrium.
+	if !g.IsNash(p) {
+		t.Error("dominant equilibrium is not Nash")
+	}
+	// Battle of the Sexes has no dominant strategies.
+	if _, ok := BattleOfSexes().DominantEquilibrium(Weak); ok {
+		t.Error("BoS should have no dominant equilibrium")
+	}
+}
+
+func TestEliminateDominatedPD(t *testing.T) {
+	g := PrisonersDilemma()
+	surviving := g.EliminateDominated()
+	for i := 0; i < 2; i++ {
+		if len(surviving[i]) != 1 || surviving[i][0] != 1 {
+			t.Errorf("agent %d survivors = %v, want [1]", i, surviving[i])
+		}
+	}
+}
+
+func TestEliminateDominatedIterates(t *testing.T) {
+	// Classic two-step IESDS: column's C is strictly dominated by R; after
+	// removing C, row's B becomes dominated by T.
+	//        L      C      R
+	//	T   (3,1)  (0,0)  (1,2)
+	//	B   (1,1)  (2,3)  (0,2)
+	// Column: does R strictly dominate C? vs T: 2>0 ✓; vs B: 2<3 ✗. Try L vs
+	// C: 1>0 ✓, 1<3 ✗. Use a cleaner textbook instance:
+	//        L      R
+	//	T   (1,0)  (1,1)
+	//	M   (0,1)  (2,0)
+	//	B   (0,0)  (0,0)   <- B strictly dominated by T
+	// After removing B nothing else is strictly dominated (T vs M: 1>0 at L,
+	// 1<2 at R).
+	g := MustNew("iesds", []int{3, 2})
+	set := func(r, c int, a, b int64) {
+		g.SetPayoffs(Profile{r, c}, intRat(a), intRat(b))
+	}
+	set(0, 0, 1, 0)
+	set(0, 1, 1, 1)
+	set(1, 0, 0, 1)
+	set(1, 1, 2, 0)
+	set(2, 0, 0, 0)
+	set(2, 1, 0, 0)
+	surviving := g.EliminateDominated()
+	if len(surviving[0]) != 2 || surviving[0][0] != 0 || surviving[0][1] != 1 {
+		t.Errorf("row survivors = %v, want [0 1]", surviving[0])
+	}
+	if len(surviving[1]) != 2 {
+		t.Errorf("column survivors = %v, want both", surviving[1])
+	}
+}
+
+// Property: every pure Nash equilibrium survives IESDS.
+func TestNashSurvivesIESDSProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomGame("r", []int{3, 3}, 5, rng.Int63n)
+		surviving := g.EliminateDominated()
+		aliveSet := make([]map[int]bool, g.NumAgents())
+		for i, s := range surviving {
+			aliveSet[i] = make(map[int]bool, len(s))
+			for _, idx := range s {
+				aliveSet[i][idx] = true
+			}
+		}
+		for _, eq := range g.AllNash() {
+			for i, s := range eq {
+				if !aliveSet[i][s] {
+					t.Fatalf("trial %d: equilibrium %v eliminated at agent %d", trial, eq, i)
+				}
+			}
+		}
+	}
+}
+
+// Property: a strict dominant-strategy profile, when it exists, is the
+// unique pure Nash equilibrium.
+func TestStrictDominantIsUniqueNashProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		g := RandomGame("r", []int{2, 2}, 6, rng.Int63n)
+		p, ok := g.DominantEquilibrium(Strict)
+		if !ok {
+			continue
+		}
+		checked++
+		all := g.AllNash()
+		if len(all) != 1 || !all[0].Equal(p) {
+			t.Fatalf("trial %d: strict dominant profile %v but equilibria %v", trial, p, all)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no games with strict dominant equilibria drawn")
+	}
+}
+
+// intRat is a tiny local helper to keep the payoff literals short.
+func intRat(v int64) *numeric.Rat { return numeric.I(v) }

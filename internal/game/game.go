@@ -1,0 +1,184 @@
+package game
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// Game is a finite strategic-form game ⟨N, A = (Ai), U = (ui)⟩. Payoffs are
+// exact rationals stored densely: payoffs[i] holds agent i's utility for
+// every profile, indexed by the mixed-radix encoding of the profile.
+type Game struct {
+	name          string
+	numStrategies []int        // TSi in Fig. 2: numStrategies[i] = |Ai|
+	payoffs       [][]*big.Rat // payoffs[agent][profileIndex]
+	numProfiles   int
+}
+
+// New creates a game with the given strategy set sizes (one per agent) and
+// all payoffs zero. Every agent must have at least one strategy.
+func New(name string, numStrategies []int) (*Game, error) {
+	if len(numStrategies) == 0 {
+		return nil, fmt.Errorf("game: a game needs at least one agent")
+	}
+	numProfiles := 1
+	for i, k := range numStrategies {
+		if k <= 0 {
+			return nil, fmt.Errorf("game: agent %d has %d strategies; need >= 1", i, k)
+		}
+		if numProfiles > 1<<28/k {
+			return nil, fmt.Errorf("game: profile space too large to materialize")
+		}
+		numProfiles *= k
+	}
+	sizes := make([]int, len(numStrategies))
+	copy(sizes, numStrategies)
+	payoffs := make([][]*big.Rat, len(sizes))
+	for i := range payoffs {
+		row := make([]*big.Rat, numProfiles)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		payoffs[i] = row
+	}
+	return &Game{name: name, numStrategies: sizes, payoffs: payoffs, numProfiles: numProfiles}, nil
+}
+
+// MustNew is New that panics on error; for tests, examples, and literals.
+func MustNew(name string, numStrategies []int) *Game {
+	g, err := New(name, numStrategies)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromFunc creates a game whose payoffs are produced by u(agent, profile).
+// The profile passed to u must not be retained.
+func FromFunc(name string, numStrategies []int, u func(agent int, p Profile) *big.Rat) (*Game, error) {
+	g, err := New(name, numStrategies)
+	if err != nil {
+		return nil, err
+	}
+	g.ForEachProfile(func(p Profile) bool {
+		idx := g.index(p)
+		for i := range g.payoffs {
+			g.payoffs[i][idx].Set(u(i, p))
+		}
+		return true
+	})
+	return g, nil
+}
+
+// Name returns the game's display name.
+func (g *Game) Name() string { return g.name }
+
+// NumAgents returns |N|.
+func (g *Game) NumAgents() int { return len(g.numStrategies) }
+
+// NumStrategies returns |Ai| for agent i.
+func (g *Game) NumStrategies(i int) int { return g.numStrategies[i] }
+
+// StrategyCounts returns a copy of the per-agent strategy set sizes (the
+// paper's TSi).
+func (g *Game) StrategyCounts() []int {
+	c := make([]int, len(g.numStrategies))
+	copy(c, g.numStrategies)
+	return c
+}
+
+// NumProfiles returns |A| = ∏|Ai|.
+func (g *Game) NumProfiles() int { return g.numProfiles }
+
+// ValidProfile reports whether p selects an in-range strategy for every
+// agent. It is the paper's isStrat(n, TSi, Si) predicate.
+func (g *Game) ValidProfile(p Profile) bool {
+	if len(p) != len(g.numStrategies) {
+		return false
+	}
+	for i, s := range p {
+		if s < 0 || s >= g.numStrategies[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// index converts a profile to its dense payoff index (mixed radix).
+func (g *Game) index(p Profile) int {
+	idx := 0
+	for i, s := range p {
+		idx = idx*g.numStrategies[i] + s
+	}
+	return idx
+}
+
+// profileAt is the inverse of index.
+func (g *Game) profileAt(idx int) Profile {
+	p := make(Profile, len(g.numStrategies))
+	for i := len(g.numStrategies) - 1; i >= 0; i-- {
+		k := g.numStrategies[i]
+		p[i] = idx % k
+		idx /= k
+	}
+	return p
+}
+
+// Payoff returns agent i's utility ui(p) as a fresh rational. It panics on an
+// invalid profile, mirroring that u is only defined on A.
+func (g *Game) Payoff(i int, p Profile) *big.Rat {
+	if i < 0 || i >= g.NumAgents() {
+		panic(fmt.Sprintf("game: agent %d out of range", i))
+	}
+	if !g.ValidProfile(p) {
+		panic(fmt.Sprintf("game: invalid profile %v", p))
+	}
+	return numeric.Copy(g.payoffs[i][g.index(p)])
+}
+
+// SetPayoff sets agent i's utility for profile p.
+func (g *Game) SetPayoff(i int, p Profile, v *big.Rat) {
+	if i < 0 || i >= g.NumAgents() {
+		panic(fmt.Sprintf("game: agent %d out of range", i))
+	}
+	if !g.ValidProfile(p) {
+		panic(fmt.Sprintf("game: invalid profile %v", p))
+	}
+	g.payoffs[i][g.index(p)].Set(v)
+}
+
+// SetPayoffs sets every agent's utility for profile p at once.
+func (g *Game) SetPayoffs(p Profile, vs ...*big.Rat) {
+	if len(vs) != g.NumAgents() {
+		panic(fmt.Sprintf("game: %d payoffs for %d agents", len(vs), g.NumAgents()))
+	}
+	for i, v := range vs {
+		g.SetPayoff(i, p, v)
+	}
+}
+
+// ForEachProfile calls fn for every profile in lexicographic order until fn
+// returns false. The profile passed to fn is reused across calls; clone it to
+// retain it.
+func (g *Game) ForEachProfile(fn func(p Profile) bool) {
+	p := make(Profile, g.NumAgents())
+	for idx := 0; idx < g.numProfiles; idx++ {
+		copy(p, g.profileAt(idx))
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Profiles returns every profile of the game in lexicographic order. The
+// slice is freshly allocated; with large games prefer ForEachProfile.
+func (g *Game) Profiles() []Profile {
+	out := make([]Profile, 0, g.numProfiles)
+	g.ForEachProfile(func(p Profile) bool {
+		out = append(out, p.Clone())
+		return true
+	})
+	return out
+}

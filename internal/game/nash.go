@@ -1,0 +1,148 @@
+package game
+
+import "rationality/internal/numeric"
+
+// LeU reports whether profile p ≤u q: every agent weakly prefers q, i.e.
+// ∀i: ui(p) <= ui(q). It is the paper's leStrat(n, u, Si1, Si2) predicate
+// (Fig. 2 line 20).
+func (g *Game) LeU(p, q Profile) bool {
+	for i := 0; i < g.NumAgents(); i++ {
+		if numeric.Gt(g.Payoff(i, p), g.Payoff(i, q)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Incomparable reports whether p and q are incomparable under ≤u: some agent
+// strictly prefers p and some agent strictly prefers q. It is the paper's
+// noComp predicate (Fig. 2 line 18: ∃i, j: ui(Si1) < ui(Si2) ∧ uj(Si2) < uj(Si1)).
+func (g *Game) Incomparable(p, q Profile) bool {
+	someonePrefersQ := false
+	someonePrefersP := false
+	for i := 0; i < g.NumAgents(); i++ {
+		switch g.Payoff(i, p).Cmp(g.Payoff(i, q)) {
+		case -1:
+			someonePrefersQ = true
+		case 1:
+			someonePrefersP = true
+		}
+	}
+	return someonePrefersQ && someonePrefersP
+}
+
+// Deviation is a profitable unilateral deviation from a profile: agent Agent
+// strictly improves by switching to Strategy.
+type Deviation struct {
+	Agent    int
+	Strategy int
+}
+
+// FindDeviation searches for a profitable unilateral deviation from p. It
+// returns the first one in (agent, strategy) order, or ok=false when p is a
+// pure Nash equilibrium. The returned deviation doubles as the
+// counterexample witness used by the §3 proof scheme.
+func (g *Game) FindDeviation(p Profile) (dev Deviation, ok bool) {
+	if !g.ValidProfile(p) {
+		panic("game: FindDeviation on invalid profile")
+	}
+	for i := 0; i < g.NumAgents(); i++ {
+		base := g.Payoff(i, p)
+		for si := 0; si < g.NumStrategies(i); si++ {
+			if si == p[i] {
+				continue
+			}
+			if numeric.Gt(g.Payoff(i, p.Change(i, si)), base) {
+				return Deviation{Agent: i, Strategy: si}, true
+			}
+		}
+	}
+	return Deviation{}, false
+}
+
+// IsNash reports whether p is a pure Nash equilibrium: isStrat(p) and no
+// agent can strictly gain by a unilateral deviation (Fig. 2 line 22-24).
+func (g *Game) IsNash(p Profile) bool {
+	if !g.ValidProfile(p) {
+		return false
+	}
+	_, deviates := g.FindDeviation(p)
+	return !deviates
+}
+
+// AllNash returns every pure Nash equilibrium of the game in lexicographic
+// order. This is the enumeration the §3 proof scheme certifies (allNash).
+func (g *Game) AllNash() []Profile {
+	var out []Profile
+	g.ForEachProfile(func(p Profile) bool {
+		if g.IsNash(p) {
+			out = append(out, p.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// IsMaxNash reports whether p is a maximal pure Nash equilibrium: p is an
+// equilibrium and no other equilibrium q has q ≥u p with q ≠ p (Fig. 2
+// line 26, NashMax line 36: every equilibrium is ≤u p or incomparable).
+func (g *Game) IsMaxNash(p Profile) bool {
+	if !g.IsNash(p) {
+		return false
+	}
+	dominated := false
+	g.ForEachProfile(func(q Profile) bool {
+		if !g.IsNash(q) || q.Equal(p) {
+			return true
+		}
+		// q dominates p iff p ≤u q and they are not payoff-identical.
+		if g.LeU(p, q) && !g.LeU(q, p) {
+			dominated = true
+			return false
+		}
+		return true
+	})
+	return !dominated
+}
+
+// IsMinNash reports whether p is a minimal pure Nash equilibrium (footnote 1
+// of the paper: no equilibrium q has q ≤u p with strictly less for someone).
+func (g *Game) IsMinNash(p Profile) bool {
+	if !g.IsNash(p) {
+		return false
+	}
+	dominated := false
+	g.ForEachProfile(func(q Profile) bool {
+		if !g.IsNash(q) || q.Equal(p) {
+			return true
+		}
+		if g.LeU(q, p) && !g.LeU(p, q) {
+			dominated = true
+			return false
+		}
+		return true
+	})
+	return !dominated
+}
+
+// BestResponses returns the set of agent i's best responses to the other
+// agents' strategies in p, as strategy indices in increasing order.
+func (g *Game) BestResponses(i int, p Profile) []int {
+	if !g.ValidProfile(p) {
+		panic("game: BestResponses on invalid profile")
+	}
+	best := g.Payoff(i, p.Change(i, 0))
+	var out []int
+	for si := 0; si < g.NumStrategies(i); si++ {
+		v := g.Payoff(i, p.Change(i, si))
+		switch v.Cmp(best) {
+		case 1:
+			best = v
+			out = out[:0]
+			out = append(out, si)
+		case 0:
+			out = append(out, si)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package game implements finite strategic-form games: agents, strategy
+// profiles, payoff tensors, and the pure Nash equilibrium predicates of the
+// paper's Fig. 2 (isStrat, eqStrat, change, leStrat, noComp, isNash,
+// isMaxNash). It is the substrate shared by the proof checker (§3), the
+// participation game (§5), and the congestion games (§6).
+package game
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Profile is a pure strategy profile: Profile[i] is the index of the strategy
+// played by agent i. It corresponds to Si in the paper's Fig. 2.
+type Profile []int
+
+// Clone returns an independent copy of p.
+func (p Profile) Clone() Profile {
+	c := make(Profile, len(p))
+	copy(c, p)
+	return c
+}
+
+// Equal reports whether p and q select the same strategy for every agent.
+// It is the paper's eqStrat predicate.
+func (p Profile) Equal(q Profile) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Change returns a new profile identical to p except that agent i plays
+// strategy si. It is the paper's change(Si, si, i) function; Fig. 2 notes it
+// can build all profiles needed to prove a profile is a Nash equilibrium.
+func (p Profile) Change(i, si int) Profile {
+	if i < 0 || i >= len(p) {
+		panic(fmt.Sprintf("game: agent %d out of range for %d-agent profile", i, len(p)))
+	}
+	c := p.Clone()
+	c[i] = si
+	return c
+}
+
+// String renders the profile as "[s0 s1 ...]".
+func (p Profile) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, s := range p {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(s))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

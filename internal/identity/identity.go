@@ -1,0 +1,99 @@
+// Package identity provides the accountability layer the paper's footnote 3
+// sketches: "the system can require the inventor to publish the average
+// loads with its signature at each round. ... then the inventor is kept
+// responsible when found cheating". Parties hold Ed25519 key pairs; their
+// announcements and verdicts are signed, so a misbehaviour report to the
+// reputation system carries non-repudiable evidence.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PartyID is the hex encoding of an Ed25519 public key: identities are
+// self-certifying, so the reputation registry can be keyed by them without
+// a certificate authority.
+type PartyID string
+
+// KeyPair is a party's signing identity.
+type KeyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewKeyPair generates an identity from crypto/rand.
+func NewKeyPair() (*KeyPair, error) {
+	return NewKeyPairFrom(rand.Reader)
+}
+
+// NewKeyPairFrom generates an identity from the given entropy source
+// (deterministic in tests).
+func NewKeyPairFrom(rng io.Reader) (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generating key: %w", err)
+	}
+	return &KeyPair{pub: pub, priv: priv}, nil
+}
+
+// ID returns the party's self-certifying identifier.
+func (k *KeyPair) ID() PartyID {
+	return PartyID(hex.EncodeToString(k.pub))
+}
+
+// Sign signs a message.
+func (k *KeyPair) Sign(message []byte) []byte {
+	return ed25519.Sign(k.priv, message)
+}
+
+// ErrBadSignature is returned when a signature does not verify.
+var ErrBadSignature = errors.New("identity: signature verification failed")
+
+// Verify checks a signature against a party ID.
+func Verify(id PartyID, message, sig []byte) error {
+	pub, err := hex.DecodeString(string(id))
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("identity: malformed party ID: %w", ErrBadSignature)
+	}
+	if !ed25519.Verify(ed25519.PublicKey(pub), message, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Envelope is a signed payload: the binding a reputation report can carry as
+// evidence.
+type Envelope struct {
+	Signer    PartyID `json:"signer"`
+	Payload   []byte  `json:"payload"`
+	Signature []byte  `json:"signature"`
+}
+
+// Seal signs the payload into an envelope.
+func Seal(k *KeyPair, payload []byte) *Envelope {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return &Envelope{
+		Signer:    k.ID(),
+		Payload:   cp,
+		Signature: k.Sign(cp),
+	}
+}
+
+// Open verifies the envelope and returns its payload.
+func (e *Envelope) Open() ([]byte, error) {
+	if e == nil {
+		return nil, ErrBadSignature
+	}
+	if err := Verify(e.Signer, e.Payload, e.Signature); err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(e.Payload))
+	copy(cp, e.Payload)
+	return cp, nil
+}

@@ -1,0 +1,130 @@
+package identity
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T, seed int64) *KeyPair {
+	t.Helper()
+	k, err := NewKeyPairFrom(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	k := testKey(t, 1)
+	msg := []byte("the advised equilibrium is p = 1/4")
+	sig := k.Sign(msg)
+	if err := Verify(k.ID(), msg, sig); err != nil {
+		t.Fatalf("honest signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	k := testKey(t, 2)
+	msg := []byte("p = 1/4")
+	sig := k.Sign(msg)
+	if err := Verify(k.ID(), []byte("p = 1/3"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered message accepted: %v", err)
+	}
+	sig[0] ^= 1
+	if err := Verify(k.ID(), msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered signature accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	k1 := testKey(t, 3)
+	k2 := testKey(t, 4)
+	msg := []byte("hello")
+	if err := Verify(k2.ID(), msg, k1.Sign(msg)); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("cross-party signature accepted")
+	}
+	if err := Verify(PartyID("not-hex!"), msg, k1.Sign(msg)); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("malformed party ID accepted")
+	}
+	if err := Verify(PartyID("abcd"), msg, k1.Sign(msg)); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("short party ID accepted")
+	}
+}
+
+func TestIDsAreDistinct(t *testing.T) {
+	if testKey(t, 5).ID() == testKey(t, 6).ID() {
+		t.Fatal("distinct keys share an ID")
+	}
+	if testKey(t, 7).ID() != testKey(t, 7).ID() {
+		t.Fatal("same seed should give the same ID")
+	}
+}
+
+func TestEnvelopeSealOpen(t *testing.T) {
+	k := testKey(t, 8)
+	payload := []byte(`{"format":"participation/v1","p":"1/4"}`)
+	env := Seal(k, payload)
+	if env.Signer != k.ID() {
+		t.Error("wrong signer recorded")
+	}
+	got, err := env.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mangled")
+	}
+}
+
+func TestEnvelopeDoesNotAliasCallerBuffer(t *testing.T) {
+	k := testKey(t, 9)
+	payload := []byte("original")
+	env := Seal(k, payload)
+	payload[0] = 'X'
+	if _, err := env.Open(); err != nil {
+		t.Fatal("mutating the caller's buffer invalidated the envelope")
+	}
+	got, _ := env.Open()
+	got[0] = 'Y'
+	if again, _ := env.Open(); again[0] == 'Y' {
+		t.Fatal("Open leaked internal state")
+	}
+}
+
+func TestEnvelopeRejectsTampering(t *testing.T) {
+	k := testKey(t, 10)
+	env := Seal(k, []byte("truthful advice"))
+	env.Payload[0] ^= 1
+	if _, err := env.Open(); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("tampered envelope accepted")
+	}
+	var nilEnv *Envelope
+	if _, err := nilEnv.Open(); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("nil envelope accepted")
+	}
+}
+
+// Property: Seal/Open round-trips arbitrary payloads; any single-byte flip
+// in the payload is detected.
+func TestEnvelopeProperty(t *testing.T) {
+	k := testKey(t, 11)
+	f := func(payload []byte, flip uint8) bool {
+		env := Seal(k, payload)
+		got, err := env.Open()
+		if err != nil || !bytes.Equal(got, payload) {
+			return false
+		}
+		if len(payload) == 0 {
+			return true
+		}
+		env.Payload[int(flip)%len(env.Payload)] ^= 0x01
+		_, err = env.Open()
+		return errors.Is(err, ErrBadSignature)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

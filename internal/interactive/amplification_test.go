@@ -1,0 +1,113 @@
+package interactive
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/commitment"
+	"rationality/internal/numeric"
+)
+
+// Remark 3's constant-k testing: requiring more conclusive rounds amplifies
+// the probability of catching a prover that lies about a single index.
+
+// sneakyProver claims the honest equilibrium but quietly adds ONE fake index
+// to its committed membership vector. A conclusive test touching the fake
+// index rejects; tests touching only honest indices pass.
+type sneakyProver struct {
+	honest *HonestProver
+	comms  []commitment.Commitment
+	opens  []*commitment.Opening
+}
+
+func newSneakyProver(t *testing.T, g *bimatrix.Game, eq *bimatrix.Equilibrium, fakeIdx int, rng io.Reader) *sneakyProver {
+	t.Helper()
+	honest, err := NewHonestProver(g, eq, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make(commitment.BitVector, g.Cols())
+	for _, j := range eq.Y.Support() {
+		bits[j] = true
+	}
+	bits[fakeIdx] = true
+	comms, opens, err := commitment.CommitBits(bits, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sneakyProver{honest: honest, comms: comms, opens: opens}
+}
+
+func (p *sneakyProver) Offer(role Role) (*P2Offer, error) {
+	offer, err := p.honest.Offer(role)
+	if err != nil {
+		return nil, err
+	}
+	if role == RowAgent {
+		offer.MembershipCommitments = append([]commitment.Commitment(nil), p.comms...)
+	}
+	return offer, nil
+}
+
+func (p *sneakyProver) OpenMembership(role Role, index int) (*commitment.Opening, error) {
+	if role == RowAgent {
+		return p.opens[index], nil
+	}
+	return p.honest.OpenMembership(role, index)
+}
+
+func TestP2ConstantKAmplification(t *testing.T) {
+	// A 16-column game whose equilibrium support is {0..7}; index 15 is
+	// falsely claimed in-support. Its gain is 0 != λ2 = 1/8, so any
+	// conclusive test touching 15 rejects.
+	const n = 16
+	const s = 8
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+	}
+	for i := 0; i < s; i++ {
+		a[i][i], b[i][i] = 1, 1
+	}
+	g := bimatrix.FromInts(a, b)
+	x := numeric.NewVec(n)
+	y := numeric.NewVec(n)
+	for i := 0; i < s; i++ {
+		x.SetAt(i, numeric.R(1, s))
+		y.SetAt(i, numeric.R(1, s))
+	}
+	eq := &bimatrix.Equilibrium{
+		Profile:   bimatrix.Profile{X: x, Y: y},
+		LambdaRow: numeric.R(1, s),
+		LambdaCol: numeric.R(1, s),
+	}
+
+	catchRate := func(minConclusive int) float64 {
+		caught := 0
+		const iters = 120
+		for it := 0; it < iters; it++ {
+			prover := newSneakyProver(t, g, eq, n-1, rand.New(rand.NewSource(int64(it))))
+			_, err := VerifyP2(g, RowAgent, prover, P2Config{
+				Rng:           rand.New(rand.NewSource(int64(10_000 + it))),
+				MinConclusive: minConclusive,
+			})
+			if err != nil {
+				caught++
+			}
+		}
+		return float64(caught) / iters
+	}
+
+	weak := catchRate(1)
+	strong := catchRate(8)
+	if strong <= weak {
+		t.Fatalf("amplification failed: k=1 catches %.2f, k=8 catches %.2f", weak, strong)
+	}
+	if strong < 0.5 {
+		t.Fatalf("k=8 catch rate %.2f too low", strong)
+	}
+}

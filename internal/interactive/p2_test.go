@@ -1,0 +1,301 @@
+package interactive
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/commitment"
+	"rationality/internal/numeric"
+)
+
+func honestProverFor(t *testing.T, g *bimatrix.Game, seed int64) (*HonestProver, *bimatrix.Equilibrium) {
+	t.Helper()
+	eq, err := g.FindEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewHonestProver(g, eq, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prover, eq
+}
+
+func TestP2AcceptsHonestProver(t *testing.T) {
+	g := matchingPennies()
+	prover, _ := honestProverFor(t, g, 1)
+	for _, role := range []Role{RowAgent, ColAgent} {
+		report, err := VerifyP2(g, role, prover, P2Config{Rng: rand.New(rand.NewSource(2))})
+		if err != nil {
+			t.Fatalf("%v: honest prover rejected: %v", role, err)
+		}
+		if !report.Accepted || report.Conclusive < 1 {
+			t.Fatalf("%v: report = %+v", role, report)
+		}
+	}
+}
+
+func TestP2RequiresRng(t *testing.T) {
+	g := matchingPennies()
+	prover, _ := honestProverFor(t, g, 1)
+	if _, err := VerifyP2(g, RowAgent, prover, P2Config{}); err == nil {
+		t.Fatal("missing Rng accepted")
+	}
+}
+
+func TestP2HonestProverRefusesNonEquilibrium(t *testing.T) {
+	g := matchingPennies()
+	bad := &bimatrix.Equilibrium{
+		Profile: bimatrix.Profile{
+			X: numeric.VecOfInts(1, 0),
+			Y: numeric.VecOfInts(1, 0),
+		},
+		LambdaRow: numeric.One(),
+		LambdaCol: numeric.I(-1),
+	}
+	if _, err := NewHonestProver(g, bad, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatal("honest prover constructed on a non-equilibrium")
+	}
+}
+
+func TestP2RejectsLyingLambda(t *testing.T) {
+	g := matchingPennies()
+	honest, _ := honestProverFor(t, g, 4)
+	liar := &LyingLambdaProver{HonestProver: honest}
+	report, err := VerifyP2(g, RowAgent, liar, P2Config{Rng: rand.New(rand.NewSource(5))})
+	if err == nil {
+		t.Fatal("lying λ accepted")
+	}
+	if report.Accepted {
+		t.Fatal("report claims acceptance despite error")
+	}
+	var re *RejectionError
+	if !errors.As(err, &re) || re.Protocol != "P2" {
+		t.Fatalf("err = %v, want P2 rejection", err)
+	}
+}
+
+func TestP2RejectsEquivocation(t *testing.T) {
+	g := matchingPennies()
+	honest, _ := honestProverFor(t, g, 6)
+	eq := &EquivocatingProver{HonestProver: honest}
+	_, err := VerifyP2(g, RowAgent, eq, P2Config{Rng: rand.New(rand.NewSource(7))})
+	if err == nil {
+		t.Fatal("equivocating prover accepted")
+	}
+	if !strings.Contains(err.Error(), "opening") {
+		t.Fatalf("expected a commitment-opening rejection, got: %v", err)
+	}
+}
+
+func TestP2RejectsDenierAsInconclusive(t *testing.T) {
+	g := matchingPennies()
+	honest, _ := honestProverFor(t, g, 8)
+	denier, err := NewDenyingProver(honest, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyP2(g, RowAgent, denier, P2Config{
+		Rng:        rand.New(rand.NewSource(10)),
+		MaxQueries: 20,
+	})
+	if err == nil {
+		t.Fatal("denier accepted")
+	}
+	if !strings.Contains(err.Error(), "inconclusive") {
+		t.Fatalf("expected inconclusive rejection, got: %v", err)
+	}
+	if report.Queries < 20-1 {
+		t.Errorf("gave up after %d queries, want to exhaust the budget", report.Queries)
+	}
+}
+
+func TestP2RejectsOverclaiming(t *testing.T) {
+	// Game with an equilibrium NOT using all strategies, so overclaiming is
+	// detectable: prisoner's dilemma — the equilibrium is pure (D, D).
+	g := bimatrix.FromInts(
+		[][]int64{{3, 0}, {5, 1}},
+		[][]int64{{3, 5}, {0, 1}},
+	)
+	honest, _ := honestProverFor(t, g, 11)
+	over, err := NewOverclaimingProver(honest, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake in-support index C has gain 5 > λ2(D,D)=1 for... check: row
+	// agent's view of column gains with x = (0,1): λ2(C) = B(1,0) = 0,
+	// λ2(D) = 1. Overclaimed C: in-support but gain 0 != 1 → reject.
+	_, err = VerifyP2(g, RowAgent, over, P2Config{Rng: rand.New(rand.NewSource(13))})
+	if err == nil {
+		t.Fatal("overclaiming prover accepted")
+	}
+}
+
+func TestP2RejectsFakeEquilibrium(t *testing.T) {
+	g := matchingPennies()
+	// Claim the pure profile (heads, heads) with fabricated values.
+	fake, err := FakeEquilibriumProver(g,
+		numeric.VecOfInts(1, 0), numeric.VecOfInts(1, 0),
+		numeric.One(), numeric.I(-1),
+		rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The column verifier computes the row agent's gains from its own mix
+	// y = (1, 0): λ1(heads) = 1 = claimed λ_other... but λ1(tails) = −1.
+	// The row verifier computes column gains from x = (1, 0): λ2(heads) = −1
+	// != claimed λ_other = −1 — actually matches. Soundness here comes from
+	// the out-of-support dominance check: for the row agent, the hidden
+	// support is {heads}; querying tails (out) has gain 1 > λ_other = −1.
+	_, err = VerifyP2(g, RowAgent, fake, P2Config{Rng: rand.New(rand.NewSource(15))})
+	if err == nil {
+		t.Fatal("fake equilibrium accepted by row verifier")
+	}
+}
+
+func TestP2RejectsMalformedOffers(t *testing.T) {
+	g := matchingPennies()
+	prover, _ := honestProverFor(t, g, 16)
+	offer, err := prover.Offer(RowAgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(o *P2Offer)
+	}{
+		{"wrong role", func(o *P2Offer) { o.Role = ColAgent }},
+		{"nil probs", func(o *P2Offer) { o.OwnProbs = nil }},
+		{"non-stochastic probs", func(o *P2Offer) { o.OwnProbs = numeric.VecOfInts(1, 1) }},
+		{"empty support", func(o *P2Offer) { o.OwnSupport = nil }},
+		{"support/probs mismatch", func(o *P2Offer) { o.OwnSupport = []int{0} }},
+		{"missing lambda", func(o *P2Offer) { o.LambdaOther = nil }},
+		{"short commitments", func(o *P2Offer) { o.MembershipCommitments = o.MembershipCommitments[:1] }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			bad := *offer
+			bad.OwnProbs = offer.OwnProbs.Clone()
+			bad.OwnSupport = append([]int(nil), offer.OwnSupport...)
+			bad.MembershipCommitments = append([]commitment.Commitment(nil), offer.MembershipCommitments...)
+			m.mutate(&bad)
+			fp := &fixedOfferProver{offer: &bad, inner: prover}
+			if _, err := VerifyP2(g, RowAgent, fp, P2Config{Rng: rand.New(rand.NewSource(17))}); err == nil {
+				t.Fatal("malformed offer accepted")
+			}
+		})
+	}
+}
+
+// fixedOfferProver serves a fixed offer and delegates openings.
+type fixedOfferProver struct {
+	offer *P2Offer
+	inner P2Prover
+}
+
+func (p *fixedOfferProver) Offer(Role) (*P2Offer, error) { return p.offer, nil }
+func (p *fixedOfferProver) OpenMembership(role Role, index int) (*commitment.Opening, error) {
+	return p.inner.OpenMembership(role, index)
+}
+
+func TestP2PrivacyRevealsOnlyQueriedBits(t *testing.T) {
+	// A larger game with a small support: the verifier should reveal far
+	// fewer indices than the full dimension.
+	n := 12
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			// Diagonal coordination: equilibria are pure on the diagonal.
+			if i == j {
+				a[i][j], b[i][j] = 1, 1
+			}
+		}
+	}
+	g := bimatrix.FromInts(a, b)
+	prover, _ := honestProverFor(t, g, 18)
+	report, err := VerifyP2(g, RowAgent, prover, P2Config{
+		Rng:           rand.New(rand.NewSource(19)),
+		MinConclusive: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RevealedIndices >= n {
+		t.Errorf("revealed %d of %d indices; privacy lost", report.RevealedIndices, n)
+	}
+}
+
+// Remark 3: with a Θ(n)-size hidden support, the expected number of queries
+// until a conclusive pair is O(1); with a constant-size support it is Θ(n).
+func TestP2QueryCountScaling(t *testing.T) {
+	avgQueries := func(supportFrac float64, n int) float64 {
+		// Build a diagonal game whose equilibrium support we control via a
+		// coordination sub-block of size k.
+		k := int(supportFrac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		g, eq := diagonalBlockGame(n, k)
+		total := 0
+		const iters = 40
+		for i := 0; i < iters; i++ {
+			prover, err := NewHonestProver(g, eq, rand.New(rand.NewSource(int64(100+i))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := VerifyP2(g, RowAgent, prover, P2Config{
+				Rng: rand.New(rand.NewSource(int64(200 + i))),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += report.Queries
+		}
+		return float64(total) / iters
+	}
+
+	n := 16
+	dense := avgQueries(0.5, n)  // support ~ n/2: O(1) expected queries
+	sparse := avgQueries(0.0, n) // support = 1: ~n expected queries
+	if dense >= sparse {
+		t.Errorf("dense-support queries (%f) should be fewer than sparse (%f)", dense, sparse)
+	}
+}
+
+// diagonalBlockGame builds an n×n game whose unique "advised" equilibrium
+// mixes uniformly over the first k diagonal strategies.
+func diagonalBlockGame(n, k int) (*bimatrix.Game, *bimatrix.Equilibrium) {
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+	}
+	// In the k-block, matching pays 1 to both; outside it pays 0.
+	for i := 0; i < k; i++ {
+		a[i][i], b[i][i] = 1, 1
+	}
+	g := bimatrix.FromInts(a, b)
+	x := numeric.NewVec(n)
+	y := numeric.NewVec(n)
+	for i := 0; i < k; i++ {
+		x.SetAt(i, numeric.R(1, int64(k)))
+		y.SetAt(i, numeric.R(1, int64(k)))
+	}
+	p := bimatrix.Profile{X: x, Y: y}
+	if !g.IsEquilibrium(p) {
+		panic("diagonalBlockGame: constructed profile is not an equilibrium")
+	}
+	return g, &bimatrix.Equilibrium{
+		Profile:   p,
+		LambdaRow: numeric.R(1, int64(k)),
+		LambdaCol: numeric.R(1, int64(k)),
+	}
+}

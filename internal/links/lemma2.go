@@ -1,0 +1,119 @@
+package links
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file carries the Lemma 2 machinery: the greedy (2 − 1/m)·OPT
+// guarantee and an exact optimal-makespan solver for small instances so the
+// bound can be tested literally, not just against lower bounds.
+
+// GreedyBoundHolds checks Lemma 2's intermediate inequality
+//
+//	Lj <= Σwi/m + (m−1)/m · max wi   for every link j,
+//
+// on a system produced by the greedy strategy. All arithmetic is integral:
+// multiply through by m. The inequality implies Lj <= (2 − 1/m)·OPT because
+// OPT >= Σwi/m and OPT >= max wi.
+func GreedyBoundHolds(s *System, loads []int64) bool {
+	m := int64(s.M())
+	var sum, maxw int64
+	for _, w := range loads {
+		sum += w
+		if w > maxw {
+			maxw = w
+		}
+	}
+	for _, lj := range s.Loads() {
+		// lj*m <= sum + (m-1)*maxw
+		if lj*m > sum+(m-1)*maxw {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundAgainstOPT checks the headline form of Lemma 2,
+// makespan <= (2 − 1/m)·OPT, given the exact optimum:
+// makespan·m <= (2m − 1)·opt.
+func BoundAgainstOPT(makespan, opt int64, m int) bool {
+	return makespan*int64(m) <= (2*int64(m)-1)*opt
+}
+
+// OptimalMakespan computes the exact optimal makespan of assigning the loads
+// to m identical links, by depth-first branch and bound. It is exponential
+// in the worst case and intended for the small instances the test suite and
+// the Lemma 2 experiment use (n ≲ 15).
+func OptimalMakespan(m int, loads []int64) (int64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("links: need at least one link")
+	}
+	if len(loads) == 0 {
+		return 0, nil
+	}
+	for _, w := range loads {
+		if w < 0 {
+			return 0, fmt.Errorf("links: negative load")
+		}
+	}
+	if len(loads) > 20 {
+		return 0, fmt.Errorf("links: OptimalMakespan limited to 20 loads, got %d", len(loads))
+	}
+
+	sorted := make([]int64, len(loads))
+	copy(sorted, loads)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	// Start from the LPT solution as the incumbent upper bound.
+	best := LPTMakespan(m, loads)
+
+	var sum int64
+	for _, w := range sorted {
+		sum += w
+	}
+	// Lower bounds: ceil(sum/m) and the largest load.
+	lower := (sum + int64(m) - 1) / int64(m)
+	if sorted[0] > lower {
+		lower = sorted[0]
+	}
+	if best == lower {
+		return best, nil
+	}
+
+	bins := make([]int64, m)
+	var rec func(i int, suffixSum int64)
+	rec = func(i int, suffixSum int64) {
+		if best == lower {
+			return
+		}
+		if i == len(sorted) {
+			ms := bins[0]
+			for _, b := range bins[1:] {
+				if b > ms {
+					ms = b
+				}
+			}
+			if ms < best {
+				best = ms
+			}
+			return
+		}
+		w := sorted[i]
+		seen := make(map[int64]bool, m)
+		for j := 0; j < m; j++ {
+			if seen[bins[j]] {
+				continue // symmetric: same current load, same subtree
+			}
+			seen[bins[j]] = true
+			if bins[j]+w >= best {
+				continue // cannot improve the incumbent
+			}
+			bins[j] += w
+			rec(i+1, suffixSum-w)
+			bins[j] -= w
+		}
+	}
+	rec(0, sum)
+	return best, nil
+}

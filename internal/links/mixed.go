@@ -1,0 +1,83 @@
+package links
+
+import "math/rand"
+
+// §6's behavioural model: "With probability p, the agent follows the
+// inventor's suggested strategy. With probability (1 − p), it chooses a
+// strategy based on its knowledge about the strategic (off-line) version of
+// the game." Fig. 7 evaluates the extreme p = 1 ("all agents ask the
+// inventor"); MixedChooser implements the general model so the adoption
+// sweep (experiment E11) can show how the benefit grows with p.
+
+// MixedChooser follows Advised with probability P and Fallback otherwise.
+type MixedChooser struct {
+	// P is the adoption probability in [0, 1].
+	P float64
+	// Rng drives the per-agent coin. Required.
+	Rng *rand.Rand
+	// Advised is the inventor's suggestion (default Inventor{}).
+	Advised Chooser
+	// Fallback is the agent's own strategy (default Greedy{}).
+	Fallback Chooser
+}
+
+// Choose implements Chooser.
+func (m MixedChooser) Choose(s *System, w int64, remaining int, observedTotal int64, observedCount int) int {
+	advised := m.Advised
+	if advised == nil {
+		advised = Inventor{}
+	}
+	fallback := m.Fallback
+	if fallback == nil {
+		fallback = Greedy{}
+	}
+	if m.Rng != nil && m.Rng.Float64() < m.P {
+		return advised.Choose(s, w, remaining, observedTotal, observedCount)
+	}
+	return fallback.Choose(s, w, remaining, observedTotal, observedCount)
+}
+
+// AdoptionPoint is one row of the adoption sweep: the fraction of agents
+// consulting the inventor and the resulting makespans.
+type AdoptionPoint struct {
+	P          float64
+	BetterPct  float64 // iterations where mixed < pure greedy
+	MeanMixed  float64
+	MeanGreedy float64
+}
+
+// AdoptionSweep measures, for each adoption probability, how often the
+// mixed population beats the all-greedy population on the same workload.
+func AdoptionSweep(m int, ps []float64, cfg Fig7Config) ([]AdoptionPoint, error) {
+	out := make([]AdoptionPoint, 0, len(ps))
+	for pi, p := range ps {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*pi)))
+		coinRng := rand.New(rand.NewSource(cfg.Seed + int64(5000+pi)))
+		better := 0
+		var sumMixed, sumGreedy float64
+		for it := 0; it < cfg.Iterations; it++ {
+			loads := UniformLoads(rng, cfg.Agents, cfg.MaxLoad)
+			greedy, err := Run(m, loads, Greedy{})
+			if err != nil {
+				return nil, err
+			}
+			mixed, err := Run(m, loads, MixedChooser{P: p, Rng: coinRng})
+			if err != nil {
+				return nil, err
+			}
+			if mixed.Makespan() < greedy.Makespan() {
+				better++
+			}
+			sumMixed += float64(mixed.Makespan())
+			sumGreedy += float64(greedy.Makespan())
+		}
+		n := float64(cfg.Iterations)
+		out = append(out, AdoptionPoint{
+			P:          p,
+			BetterPct:  100 * float64(better) / n,
+			MeanMixed:  sumMixed / n,
+			MeanGreedy: sumGreedy / n,
+		})
+	}
+	return out, nil
+}

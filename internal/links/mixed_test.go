@@ -1,0 +1,91 @@
+package links
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMixedChooserExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	loads := UniformLoads(rng, 400, 1000)
+	const m = 40
+
+	// p = 0 must reproduce greedy exactly.
+	greedy, err := Run(m, loads, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed0, err := Run(m, loads, MixedChooser{P: 0, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range greedy.Loads() {
+		if mixed0.Loads()[i] != l {
+			t.Fatalf("p=0 diverged from greedy at link %d", i)
+		}
+	}
+
+	// p = 1 must reproduce the inventor exactly.
+	inventor, err := Run(m, loads, Inventor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed1, err := Run(m, loads, MixedChooser{P: 1, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range inventor.Loads() {
+		if mixed1.Loads()[i] != l {
+			t.Fatalf("p=1 diverged from the inventor at link %d", i)
+		}
+	}
+}
+
+func TestMixedChooserNilRngIsFallback(t *testing.T) {
+	s := MustSystem(2)
+	s.Assign(0, 3)
+	// Without an Rng the coin never fires; the fallback (greedy) picks 1.
+	if got := (MixedChooser{P: 1}).Choose(s, 1, 3, 4, 1); got != 1 {
+		t.Errorf("nil-Rng mixed chooser chose %d, want greedy's 1", got)
+	}
+}
+
+func TestMixedChooserCustomStrategies(t *testing.T) {
+	// Loads (5, 0); one future agent of known mean 11/2 expected. LPT places
+	// the 5.5 phantom on the empty link 1, then the real load 2 on link 0
+	// (5 < 5.5) — so the advised prior deliberately differs from greedy,
+	// which would pick link 1.
+	s := MustSystem(2)
+	s.Assign(0, 5)
+	prior := NewUniformPrior(10)
+	c := MixedChooser{P: 1, Rng: rand.New(rand.NewSource(3)), Advised: prior, Fallback: Greedy{}}
+	if got := c.Choose(s, 2, 1, 7, 1); got != 0 {
+		t.Errorf("advised prior should anticipate the phantom and pick link 0, got %d", got)
+	}
+	if got := (Greedy{}).Choose(s, 2, 1, 7, 1); got != 1 {
+		t.Errorf("greedy should pick the empty link 1, got %d", got)
+	}
+}
+
+func TestAdoptionSweepMonotoneTrend(t *testing.T) {
+	cfg := Fig7Config{Agents: 400, MaxLoad: 1000, Iterations: 30, Seed: 11}
+	pts, err := AdoptionSweep(50, []float64{0, 0.5, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// p = 0: never strictly better (identical schedules).
+	if pts[0].BetterPct != 0 {
+		t.Errorf("p=0 BetterPct = %f, want 0", pts[0].BetterPct)
+	}
+	// Benefit grows with adoption: mean makespan at p=1 below p=0.
+	if pts[2].MeanMixed >= pts[0].MeanMixed {
+		t.Errorf("full adoption (%f) should beat none (%f)", pts[2].MeanMixed, pts[0].MeanMixed)
+	}
+	// Half adoption sits strictly between the extremes in win rate.
+	if !(pts[1].BetterPct > pts[0].BetterPct) {
+		t.Errorf("p=0.5 win rate %f should exceed p=0's %f", pts[1].BetterPct, pts[0].BetterPct)
+	}
+}

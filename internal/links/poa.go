@@ -1,0 +1,88 @@
+package links
+
+import "fmt"
+
+// Price-of-anarchy analysis for the offline parallel-links game. The
+// inventor's objective in §6 is the system optimum; agents left alone reach
+// some pure Nash equilibrium instead. The classic bound for m identical
+// machines (Finn–Horowitz; popularized as the pure price of anarchy) is
+//
+//	worst Nash makespan / OPT <= 2 − 2/(m+1),
+//
+// which the property suite validates against this package's exact
+// enumerator. Comparing the worst equilibrium with the inventor-guided
+// outcome quantifies how much the rationality authority's advice is worth
+// beyond mere stability.
+
+// NashExtremes holds the best and worst pure-Nash makespans of an instance.
+type NashExtremes struct {
+	Best  int64
+	Worst int64
+	// Count is the number of Nash assignments found (assignments, not
+	// partitions; symmetric copies count separately).
+	Count int
+}
+
+// NashAssignmentExtremes enumerates every assignment of the loads to m
+// links (mᶰ of them — intended for small analysis instances, n <= 12) and
+// returns the makespan extremes over the pure Nash equilibria. Every
+// instance has at least one (the LPT assignment), so Count >= 1.
+func NashAssignmentExtremes(m int, loads []int64) (*NashExtremes, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("links: need at least one link")
+	}
+	if len(loads) > 12 {
+		return nil, fmt.Errorf("links: NashAssignmentExtremes limited to 12 loads, got %d", len(loads))
+	}
+	for _, w := range loads {
+		if w < 0 {
+			return nil, fmt.Errorf("links: negative load")
+		}
+	}
+
+	linkLoads := make([]int64, m)
+	assignment := make([]int, len(loads))
+	res := &NashExtremes{}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(loads) {
+			if nash, _ := IsNashAssignment(m, loads, assignment); !nash {
+				return
+			}
+			ms := linkLoads[0]
+			for _, l := range linkLoads[1:] {
+				if l > ms {
+					ms = l
+				}
+			}
+			if res.Count == 0 || ms < res.Best {
+				res.Best = ms
+			}
+			if res.Count == 0 || ms > res.Worst {
+				res.Worst = ms
+			}
+			res.Count++
+			return
+		}
+		for j := 0; j < m; j++ {
+			assignment[i] = j
+			linkLoads[j] += loads[i]
+			rec(i + 1)
+			linkLoads[j] -= loads[i]
+		}
+	}
+	rec(0)
+
+	if res.Count == 0 {
+		// Unreachable: LPT always yields a pure Nash equilibrium.
+		return nil, fmt.Errorf("links: no Nash assignment found")
+	}
+	return res, nil
+}
+
+// PoABoundHolds checks worstNash·(m+1) <= (2m)·opt, the integral form of
+// worst/OPT <= 2 − 2/(m+1).
+func PoABoundHolds(worstNash, opt int64, m int) bool {
+	return worstNash*int64(m+1) <= 2*int64(m)*opt
+}

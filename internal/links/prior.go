@@ -1,0 +1,54 @@
+package links
+
+// §6 describes two kinds of statistical information the inventor may hold:
+// "In the first case, the inventor has prior knowledge about the loads of
+// the agents, knows for example that they are drawn from some particular
+// probability distribution. In the second case, the inventor dynamically
+// updates its information about the loads." The Inventor chooser in links.go
+// implements the second case (the running average, which Fig. 7 evaluates);
+// InventorPrior below implements the first, and the ablation experiment
+// (cmd/experiments, BenchmarkAblationStatistics) compares them.
+
+// InventorPrior is the inventor with prior knowledge: it expects every
+// future agent to carry the distribution's known mean load rather than the
+// running average observed so far.
+type InventorPrior struct {
+	// MeanNumerator/MeanDenominator encode the known mean load as an exact
+	// fraction (the U[1, maxLoad] mean (maxLoad+1)/2 needs halves).
+	MeanNumerator   int64
+	MeanDenominator int64
+}
+
+// NewUniformPrior returns the prior-knowledge inventor for loads drawn
+// uniformly from {1, ..., maxLoad}: mean (maxLoad+1)/2.
+func NewUniformPrior(maxLoad int64) InventorPrior {
+	return InventorPrior{MeanNumerator: maxLoad + 1, MeanDenominator: 2}
+}
+
+// Choose implements Chooser. The placement mirrors Inventor.Choose with the
+// phantom load fixed at the prior mean: scale all loads by MeanDenominator
+// so the phantom stays integral.
+func (p InventorPrior) Choose(s *System, w int64, remaining int, _ int64, _ int) int {
+	if remaining <= 0 {
+		return s.LeastLoaded()
+	}
+	if p.MeanDenominator <= 0 || p.MeanNumerator <= 0 {
+		return s.LeastLoaded()
+	}
+	scale := p.MeanDenominator
+	phantom := p.MeanNumerator
+	wFirst := w*p.MeanDenominator >= p.MeanNumerator
+
+	h := newLinkHeap(s, scale)
+	if wFirst {
+		chosen := h.place(w * scale)
+		for r := 0; r < remaining; r++ {
+			h.place(phantom)
+		}
+		return chosen
+	}
+	for r := 0; r < remaining; r++ {
+		h.place(phantom)
+	}
+	return h.place(w * scale)
+}

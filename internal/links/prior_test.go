@@ -1,0 +1,106 @@
+package links
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewUniformPrior(t *testing.T) {
+	p := NewUniformPrior(1000)
+	if p.MeanNumerator != 1001 || p.MeanDenominator != 2 {
+		t.Fatalf("prior = %+v, want mean 1001/2", p)
+	}
+}
+
+func TestPriorFallsBackWhenLastAgentOrInvalid(t *testing.T) {
+	s := MustSystem(2)
+	s.Assign(0, 10)
+	if got := (InventorPrior{MeanNumerator: 3, MeanDenominator: 1}).Choose(s, 1, 0, 0, 0); got != 1 {
+		t.Errorf("last agent should be greedy, got %d", got)
+	}
+	if got := (InventorPrior{}).Choose(s, 1, 5, 0, 0); got != 1 {
+		t.Errorf("zero prior should fall back to greedy, got %d", got)
+	}
+}
+
+func TestPriorAnticipatesFutureLoads(t *testing.T) {
+	// Same scenario as the dynamic inventor's test: loads (4, 0), own load
+	// 2, two future agents of known mean 11. LPT: 11→L1, 11→L0, then 2→L1.
+	s := MustSystem(2)
+	s.Assign(0, 4)
+	got := (InventorPrior{MeanNumerator: 11, MeanDenominator: 1}).Choose(s, 2, 2, 0, 0)
+	if got != 1 {
+		t.Errorf("prior inventor chose %d, want 1", got)
+	}
+}
+
+func TestPriorFractionalMean(t *testing.T) {
+	// Mean 3/2 with own load 1: the own load (1 < 3/2) goes after the
+	// phantoms. Two links, two phantoms 3/2 each → one per link; own load 1
+	// joins the lower-indexed of the equal links.
+	s := MustSystem(2)
+	got := (InventorPrior{MeanNumerator: 3, MeanDenominator: 2}).Choose(s, 1, 2, 0, 0)
+	if got != 0 {
+		t.Errorf("chose %d, want 0", got)
+	}
+}
+
+func TestPriorConservesLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	loads := UniformLoads(rng, 300, 1000)
+	var want int64
+	for _, w := range loads {
+		want += w
+	}
+	s, err := Run(17, loads, NewUniformPrior(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, l := range s.Loads() {
+		got += l
+	}
+	if got != want {
+		t.Fatalf("assigned %d, want %d", got, want)
+	}
+}
+
+// Ablation: on the paper's workload both statistics beat greedy for
+// moderately many links, and they behave comparably (the dynamic average
+// converges to the true mean quickly at n = 1000 agents).
+func TestPriorVsDynamicAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const m = 60
+	greedyWins, priorBeatsGreedy, dynamicBeatsGreedy := 0, 0, 0
+	const iters = 25
+	for it := 0; it < iters; it++ {
+		loads := UniformLoads(rng, 500, 1000)
+		greedy, err := Run(m, loads, Greedy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prior, err := Run(m, loads, NewUniformPrior(1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dynamic, err := Run(m, loads, Inventor{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prior.Makespan() < greedy.Makespan() {
+			priorBeatsGreedy++
+		}
+		if dynamic.Makespan() < greedy.Makespan() {
+			dynamicBeatsGreedy++
+		}
+		if greedy.Makespan() < prior.Makespan() && greedy.Makespan() < dynamic.Makespan() {
+			greedyWins++
+		}
+	}
+	if priorBeatsGreedy < iters*3/5 {
+		t.Errorf("prior inventor beat greedy only %d/%d times", priorBeatsGreedy, iters)
+	}
+	if dynamicBeatsGreedy < iters*3/5 {
+		t.Errorf("dynamic inventor beat greedy only %d/%d times", dynamicBeatsGreedy, iters)
+	}
+}

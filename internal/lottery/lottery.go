@@ -1,0 +1,181 @@
+// Package lottery implements the discussion scenario of the paper's §7: a
+// lottery company sells x raffle tickets; it knows that fake tickets —
+// almost indistinguishable from valid ones — are being sold in certain
+// geographic areas. The company (as game inventor) advises participants to
+// avoid buying in those areas, "supplying convincing proofs for identifying
+// these fake raffles", so that participants keep their winning chance at
+// 1/x. The information disclosure is minimal: the company publishes one
+// salted commitment per ticket at issuance and only ever opens the
+// commitments of challenged tickets, never the full fake list.
+package lottery
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"rationality/internal/commitment"
+	"rationality/internal/numeric"
+)
+
+// Ticket is one raffle ticket as known to the company.
+type Ticket struct {
+	Serial string
+	Area   string
+	Fake   bool
+}
+
+// Company is the lottery operator: it holds the ground truth and the
+// commitment openings.
+type Company struct {
+	tickets map[string]Ticket
+	comms   map[string]commitment.Commitment
+	opens   map[string]*commitment.Opening
+}
+
+// NewCompany registers the tickets and commits to each ticket's validity.
+// Serials must be unique and non-empty.
+func NewCompany(tickets []Ticket, rng io.Reader) (*Company, error) {
+	if len(tickets) == 0 {
+		return nil, fmt.Errorf("lottery: no tickets")
+	}
+	c := &Company{
+		tickets: make(map[string]Ticket, len(tickets)),
+		comms:   make(map[string]commitment.Commitment, len(tickets)),
+		opens:   make(map[string]*commitment.Opening, len(tickets)),
+	}
+	for _, t := range tickets {
+		if t.Serial == "" {
+			return nil, fmt.Errorf("lottery: empty serial")
+		}
+		if _, dup := c.tickets[t.Serial]; dup {
+			return nil, fmt.Errorf("lottery: duplicate serial %q", t.Serial)
+		}
+		comm, open, err := commitment.CommitWithRand(validityClaim(t.Serial, t.Fake), rng)
+		if err != nil {
+			return nil, err
+		}
+		c.tickets[t.Serial] = t
+		c.comms[t.Serial] = comm
+		c.opens[t.Serial] = open
+	}
+	return c, nil
+}
+
+// validityClaim is the committed statement; binding the serial into the
+// value stops a malicious company from reusing one ticket's opening for
+// another.
+func validityClaim(serial string, fake bool) []byte {
+	status := "valid"
+	if fake {
+		status = "fake"
+	}
+	return []byte(serial + ":" + status)
+}
+
+// Commitments returns the published per-ticket commitments (the company's
+// issuance-time disclosure).
+func (c *Company) Commitments() map[string]commitment.Commitment {
+	out := make(map[string]commitment.Commitment, len(c.comms))
+	for s, cm := range c.comms {
+		out[s] = cm
+	}
+	return out
+}
+
+// AdviseAvoidAreas returns the areas in which fake tickets circulate, in
+// sorted order — the company's advice to participants.
+func (c *Company) AdviseAvoidAreas() []string {
+	seen := map[string]bool{}
+	for _, t := range c.tickets {
+		if t.Fake {
+			seen[t.Area] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProveTicket opens the validity commitment for one serial — the company's
+// checkable proof when a participant challenges a specific ticket.
+func (c *Company) ProveTicket(serial string) (*commitment.Opening, error) {
+	open, ok := c.opens[serial]
+	if !ok {
+		return nil, fmt.Errorf("lottery: unknown serial %q", serial)
+	}
+	return open, nil
+}
+
+// VerifyTicketProof checks an opened validity claim against the published
+// commitments. It returns whether the ticket is VALID. A mismatched or
+// replayed opening is rejected.
+func VerifyTicketProof(comms map[string]commitment.Commitment, serial string, open *commitment.Opening) (bool, error) {
+	comm, ok := comms[serial]
+	if !ok {
+		return false, fmt.Errorf("lottery: no commitment published for serial %q", serial)
+	}
+	if err := commitment.Verify(comm, open); err != nil {
+		return false, fmt.Errorf("lottery: proof for %q: %w", serial, err)
+	}
+	switch string(open.Value) {
+	case serial + ":valid":
+		return true, nil
+	case serial + ":fake":
+		return false, nil
+	default:
+		return false, fmt.Errorf("lottery: opening for %q carries a claim about a different ticket", serial)
+	}
+}
+
+// WinProbability is the chance that a uniformly chosen ticket from the given
+// area wins the (fair) lottery: valid tickets win with probability 1/x where
+// x is the total number of valid tickets; fakes never win. An area with no
+// tickets has probability zero.
+func (c *Company) WinProbability(area string) *big.Rat {
+	validTotal := 0
+	inArea, validInArea := 0, 0
+	for _, t := range c.tickets {
+		if !t.Fake {
+			validTotal++
+		}
+		if t.Area == area {
+			inArea++
+			if !t.Fake {
+				validInArea++
+			}
+		}
+	}
+	if inArea == 0 || validTotal == 0 {
+		return numeric.Zero()
+	}
+	// Pr[ticket valid] · 1/x = (validInArea/inArea) · (1/validTotal).
+	return numeric.Div(
+		numeric.R(int64(validInArea), int64(inArea)),
+		numeric.I(int64(validTotal)))
+}
+
+// FairChance returns 1/x, the winning chance of a guaranteed-valid ticket.
+func (c *Company) FairChance() *big.Rat {
+	validTotal := 0
+	for _, t := range c.tickets {
+		if !t.Fake {
+			validTotal++
+		}
+	}
+	if validTotal == 0 {
+		return numeric.Zero()
+	}
+	return numeric.R(1, int64(validTotal))
+}
+
+// AdviceValue quantifies the advice for a participant: the win probability
+// when buying in a clean area minus the probability when buying in the
+// avoided area — how much following the advice is worth.
+func (c *Company) AdviceValue(cleanArea, avoidedArea string) *big.Rat {
+	return numeric.Sub(c.WinProbability(cleanArea), c.WinProbability(avoidedArea))
+}

@@ -1,0 +1,179 @@
+package lottery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rationality/internal/numeric"
+)
+
+func testTickets() []Ticket {
+	return []Ticket{
+		{Serial: "T1", Area: "north", Fake: false},
+		{Serial: "T2", Area: "north", Fake: false},
+		{Serial: "T3", Area: "south", Fake: true},
+		{Serial: "T4", Area: "south", Fake: false},
+		{Serial: "T5", Area: "east", Fake: false},
+	}
+}
+
+func newTestCompany(t *testing.T) *Company {
+	t.Helper()
+	c, err := NewCompany(testTickets(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCompanyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewCompany(nil, rng); err == nil {
+		t.Error("empty ticket list accepted")
+	}
+	if _, err := NewCompany([]Ticket{{Serial: "", Area: "a"}}, rng); err == nil {
+		t.Error("empty serial accepted")
+	}
+	if _, err := NewCompany([]Ticket{{Serial: "x"}, {Serial: "x"}}, rng); err == nil {
+		t.Error("duplicate serial accepted")
+	}
+}
+
+func TestAdviseAvoidAreas(t *testing.T) {
+	c := newTestCompany(t)
+	got := c.AdviseAvoidAreas()
+	if len(got) != 1 || got[0] != "south" {
+		t.Fatalf("AdviseAvoidAreas = %v, want [south]", got)
+	}
+}
+
+func TestProveAndVerifyTicket(t *testing.T) {
+	c := newTestCompany(t)
+	comms := c.Commitments()
+
+	open, err := c.ProveTicket("T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := VerifyTicketProof(comms, "T3", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid {
+		t.Error("T3 is fake; proof says valid")
+	}
+
+	open1, err := c.ProveTicket("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err = VerifyTicketProof(comms, "T1", open1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Error("T1 is valid; proof says fake")
+	}
+
+	if _, err := c.ProveTicket("nope"); err == nil {
+		t.Error("unknown serial accepted")
+	}
+}
+
+func TestVerifyTicketProofRejectsReplay(t *testing.T) {
+	c := newTestCompany(t)
+	comms := c.Commitments()
+	// Opening for T1 (valid) replayed against T3's commitment must fail: the
+	// serial is bound into the committed value.
+	open1, err := c.ProveTicket("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTicketProof(comms, "T3", open1); err == nil {
+		t.Error("cross-serial replay accepted")
+	}
+	if _, err := VerifyTicketProof(comms, "ghost", open1); err == nil {
+		t.Error("unknown serial accepted")
+	}
+}
+
+func TestVerifyTicketProofRejectsTampering(t *testing.T) {
+	c := newTestCompany(t)
+	comms := c.Commitments()
+	open, err := c.ProveTicket("T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *open
+	forged.Value = []byte("T3:valid") // flip fake -> valid without the right salt
+	if _, err := VerifyTicketProof(comms, "T3", &forged); err == nil ||
+		!strings.Contains(err.Error(), "commitment") {
+		t.Errorf("tampered proof accepted or wrong error: %v", err)
+	}
+}
+
+func TestWinProbabilities(t *testing.T) {
+	c := newTestCompany(t)
+	// 4 valid tickets total → fair chance 1/4.
+	if got := c.FairChance(); !numeric.Eq(got, numeric.R(1, 4)) {
+		t.Errorf("FairChance = %s, want 1/4", got.RatString())
+	}
+	// North: all valid → 1/4.
+	if got := c.WinProbability("north"); !numeric.Eq(got, numeric.R(1, 4)) {
+		t.Errorf("north = %s, want 1/4", got.RatString())
+	}
+	// South: 1 of 2 valid → (1/2)·(1/4) = 1/8.
+	if got := c.WinProbability("south"); !numeric.Eq(got, numeric.R(1, 8)) {
+		t.Errorf("south = %s, want 1/8", got.RatString())
+	}
+	// Unknown area → 0.
+	if c.WinProbability("mars").Sign() != 0 {
+		t.Error("unknown area should have zero probability")
+	}
+}
+
+func TestAdviceValue(t *testing.T) {
+	c := newTestCompany(t)
+	// Following the advice (buy north, not south) is worth 1/4 − 1/8 = 1/8.
+	if got := c.AdviceValue("north", "south"); !numeric.Eq(got, numeric.R(1, 8)) {
+		t.Errorf("AdviceValue = %s, want 1/8", got.RatString())
+	}
+}
+
+func TestAllFakeLottery(t *testing.T) {
+	c, err := NewCompany([]Ticket{
+		{Serial: "F1", Area: "a", Fake: true},
+		{Serial: "F2", Area: "a", Fake: true},
+	}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FairChance().Sign() != 0 || c.WinProbability("a").Sign() != 0 {
+		t.Error("all-fake lottery should have zero winning chances")
+	}
+}
+
+// Privacy: the published commitments alone do not reveal which tickets are
+// fake — commitments of fake and valid tickets are indistinguishable without
+// openings (different salts, no structure). We can't test indistinguishable
+// distributions directly, but we can check that no commitment equals the
+// unsalted hash of its claim, i.e. the salt matters.
+func TestCommitmentsAreSalted(t *testing.T) {
+	c := newTestCompany(t)
+	comms := c.Commitments()
+	if len(comms) != 5 {
+		t.Fatalf("%d commitments", len(comms))
+	}
+	// Two companies over the same tickets produce different commitments.
+	c2, err := NewCompany(testTickets(), rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms2 := c2.Commitments()
+	for s := range comms {
+		if comms[s] == comms2[s] {
+			t.Fatalf("commitment for %s identical across independent salts", s)
+		}
+	}
+}

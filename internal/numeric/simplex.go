@@ -1,0 +1,384 @@
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Relation is the comparison direction of a linear constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // coeffs·x <= rhs
+	GE                     // coeffs·x >= rhs
+	EQ                     // coeffs·x == rhs
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is a single linear constraint coeffs·x REL rhs over the
+// non-negative decision variables of an LP.
+type Constraint struct {
+	Coeffs *Vec
+	Rel    Relation
+	RHS    *big.Rat
+}
+
+// LP is a linear program over n non-negative decision variables:
+//
+//	maximize  Objective · x
+//	subject to each Constraint, x >= 0.
+//
+// Use Minimize to flip the objective sense.
+type LP struct {
+	NumVars     int
+	Objective   *Vec // maximized; nil means feasibility only
+	Minimize    bool
+	Constraints []Constraint
+}
+
+// LPStatus classifies the outcome of solving an LP.
+type LPStatus int
+
+// LP outcomes.
+const (
+	Optimal LPStatus = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s LPStatus) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("LPStatus(%d)", int(s))
+	}
+}
+
+// LPResult is the outcome of SolveLP. X and Objective are set only when
+// Status == Optimal.
+type LPResult struct {
+	Status    LPStatus
+	X         *Vec
+	Objective *big.Rat
+}
+
+// AddLE appends coeffs·x <= rhs.
+func (lp *LP) AddLE(coeffs *Vec, rhs *big.Rat) {
+	lp.Constraints = append(lp.Constraints, Constraint{Coeffs: coeffs.Clone(), Rel: LE, RHS: Copy(rhs)})
+}
+
+// AddGE appends coeffs·x >= rhs.
+func (lp *LP) AddGE(coeffs *Vec, rhs *big.Rat) {
+	lp.Constraints = append(lp.Constraints, Constraint{Coeffs: coeffs.Clone(), Rel: GE, RHS: Copy(rhs)})
+}
+
+// AddEQ appends coeffs·x == rhs.
+func (lp *LP) AddEQ(coeffs *Vec, rhs *big.Rat) {
+	lp.Constraints = append(lp.Constraints, Constraint{Coeffs: coeffs.Clone(), Rel: EQ, RHS: Copy(rhs)})
+}
+
+// SolveLP solves the LP with the exact two-phase simplex method using
+// Bland's anti-cycling rule. All arithmetic is over rationals, so the
+// returned optimum is exact.
+func SolveLP(lp *LP) (*LPResult, error) {
+	if lp.NumVars < 0 {
+		return nil, fmt.Errorf("numeric: negative variable count %d", lp.NumVars)
+	}
+	if lp.Objective != nil && lp.Objective.Len() != lp.NumVars {
+		return nil, fmt.Errorf("numeric: objective has %d coefficients for %d variables",
+			lp.Objective.Len(), lp.NumVars)
+	}
+	for i, c := range lp.Constraints {
+		if c.Coeffs.Len() != lp.NumVars {
+			return nil, fmt.Errorf("numeric: constraint %d has %d coefficients for %d variables",
+				i, c.Coeffs.Len(), lp.NumVars)
+		}
+	}
+
+	t := newTableau(lp)
+	if status := t.phase1(); status == Infeasible {
+		return &LPResult{Status: Infeasible}, nil
+	}
+	status := t.phase2()
+	if status == Unbounded {
+		return &LPResult{Status: Unbounded}, nil
+	}
+
+	x := NewVec(lp.NumVars)
+	for row, v := range t.basis {
+		if v < lp.NumVars {
+			x.SetAt(v, t.rhs(row))
+		}
+	}
+	obj := new(big.Rat)
+	if lp.Objective != nil {
+		obj = lp.Objective.Dot(x)
+	}
+	return &LPResult{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [decision vars | slack/surplus vars | artificial vars | rhs]. Row i of
+// rows is a constraint row; cost1 and cost2 are the phase-1 and phase-2
+// reduced-cost rows (cost2 holds the negated maximization objective so both
+// phases minimize).
+type tableau struct {
+	nVars   int
+	nCols   int // total columns excluding rhs
+	artLo   int // first artificial column index
+	rows    [][]*big.Rat
+	basis   []int
+	cost1   []*big.Rat
+	cost2   []*big.Rat
+	hasArts bool
+}
+
+func newTableau(lp *LP) *tableau {
+	m := len(lp.Constraints)
+
+	// Count slack/surplus and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, c := range lp.Constraints {
+		rhsNeg := c.RHS.Sign() < 0
+		rel := c.Rel
+		if rhsNeg {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	t := &tableau{
+		nVars:   lp.NumVars,
+		nCols:   lp.NumVars + nSlack + nArt,
+		artLo:   lp.NumVars + nSlack,
+		rows:    make([][]*big.Rat, m),
+		basis:   make([]int, m),
+		hasArts: nArt > 0,
+	}
+
+	slackAt := lp.NumVars
+	artAt := t.artLo
+	for i, c := range lp.Constraints {
+		row := make([]*big.Rat, t.nCols+1)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		sign := int64(1)
+		rel := c.Rel
+		if c.RHS.Sign() < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j := 0; j < lp.NumVars; j++ {
+			row[j].Mul(c.Coeffs.At(j), big.NewRat(sign, 1))
+		}
+		row[t.nCols].Mul(c.RHS, big.NewRat(sign, 1))
+
+		switch rel {
+		case LE:
+			row[slackAt].SetInt64(1)
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt].SetInt64(-1)
+			slackAt++
+			row[artAt].SetInt64(1)
+			t.basis[i] = artAt
+			artAt++
+		case EQ:
+			row[artAt].SetInt64(1)
+			t.basis[i] = artAt
+			artAt++
+		}
+		t.rows[i] = row
+	}
+
+	// Phase-2 cost row: minimize -objective (i.e. maximize objective).
+	t.cost2 = make([]*big.Rat, t.nCols+1)
+	for j := range t.cost2 {
+		t.cost2[j] = new(big.Rat)
+	}
+	if lp.Objective != nil {
+		for j := 0; j < lp.NumVars; j++ {
+			if lp.Minimize {
+				t.cost2[j].Set(lp.Objective.At(j))
+			} else {
+				t.cost2[j].Neg(lp.Objective.At(j))
+			}
+		}
+	}
+
+	// Phase-1 cost row: minimize the sum of artificials. Start with cost 1 on
+	// each artificial column, then price out the basic artificials.
+	t.cost1 = make([]*big.Rat, t.nCols+1)
+	for j := range t.cost1 {
+		t.cost1[j] = new(big.Rat)
+	}
+	for j := t.artLo; j < t.nCols; j++ {
+		t.cost1[j].SetInt64(1)
+	}
+	for i, v := range t.basis {
+		if v >= t.artLo {
+			subRow(t.cost1, t.rows[i])
+		}
+	}
+	return t
+}
+
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) rhs(row int) *big.Rat { return Copy(t.rows[row][t.nCols]) }
+
+// phase1 drives the artificial variables to zero. It returns Infeasible when
+// that is impossible.
+func (t *tableau) phase1() LPStatus {
+	if !t.hasArts {
+		return Optimal
+	}
+	t.minimize(t.cost1, t.nCols) // cannot be unbounded: objective >= 0
+
+	// The phase-1 objective value is -cost1[rhs]; infeasible when non-zero.
+	if t.cost1[t.nCols].Sign() != 0 {
+		return Infeasible
+	}
+
+	// Drive any remaining basic artificials out of the basis.
+	for i := 0; i < len(t.basis); i++ {
+		if t.basis[i] < t.artLo {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artLo; j++ {
+			if t.rows[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint row: remove it.
+			t.rows = append(t.rows[:i], t.rows[i+1:]...)
+			t.basis = append(t.basis[:i], t.basis[i+1:]...)
+			i--
+		}
+	}
+	return Optimal
+}
+
+// phase2 optimizes the true objective over the feasible region, with
+// artificial columns barred from entering.
+func (t *tableau) phase2() LPStatus {
+	return t.minimize(t.cost2, t.artLo)
+}
+
+// minimize runs simplex iterations on the given cost row, considering only
+// entering columns < colLimit, until optimal or unbounded.
+func (t *tableau) minimize(cost []*big.Rat, colLimit int) LPStatus {
+	for {
+		// Bland's rule: entering column is the lowest index with a negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < colLimit; j++ {
+			if cost[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// Ratio test, tie-broken by the lowest basis variable index.
+		leave := -1
+		best := new(big.Rat)
+		ratio := new(big.Rat)
+		for i, row := range t.rows {
+			if row[enter].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(row[t.nCols], row[enter])
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				best.Set(ratio)
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column col basic in row row.
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	inv := new(big.Rat).Inv(pr[col])
+	for j := range pr {
+		pr[j].Mul(pr[j], inv)
+	}
+	for i, r := range t.rows {
+		if i != row {
+			elimRow(r, pr, col)
+		}
+	}
+	elimRow(t.cost1, pr, col)
+	elimRow(t.cost2, pr, col)
+	t.basis[row] = col
+}
+
+// elimRow subtracts factor*pivotRow from row so that row[col] becomes zero,
+// where factor = row[col].
+func elimRow(row, pivotRow []*big.Rat, col int) {
+	if row[col].Sign() == 0 {
+		return
+	}
+	factor := Copy(row[col])
+	prod := new(big.Rat)
+	for j := range row {
+		prod.Mul(factor, pivotRow[j])
+		row[j].Sub(row[j], prod)
+	}
+}
+
+// subRow subtracts other from row element-wise.
+func subRow(row, other []*big.Rat) {
+	for j := range row {
+		row[j].Sub(row[j], other[j])
+	}
+}

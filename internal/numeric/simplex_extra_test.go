@@ -1,0 +1,80 @@
+package numeric
+
+import "testing"
+
+// These tests target the two-phase machinery's less-travelled branches:
+// redundant equality constraints (phase-1 artificials that cannot be driven
+// out), duplicated constraints, and zero-variable programs.
+
+func TestLPRedundantEqualityConstraints(t *testing.T) {
+	// x + y = 2 stated twice, plus 2x + 2y = 4: rank 1, two redundant rows.
+	// Phase 1 must remove them rather than reporting infeasible.
+	lp := &LP{NumVars: 2, Objective: VecOfInts(1, 0)}
+	lp.AddEQ(VecOfInts(1, 1), I(2))
+	lp.AddEQ(VecOfInts(1, 1), I(2))
+	lp.AddEQ(VecOfInts(2, 2), I(4))
+	res := mustSolveLP(t, lp)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Objective.RatString() != "2" {
+		t.Fatalf("objective = %s, want 2 (x = 2, y = 0)", res.Objective.RatString())
+	}
+}
+
+func TestLPRedundantInconsistent(t *testing.T) {
+	// x + y = 2 and 2x + 2y = 5: inconsistent despite proportional rows.
+	lp := &LP{NumVars: 2}
+	lp.AddEQ(VecOfInts(1, 1), I(2))
+	lp.AddEQ(VecOfInts(2, 2), I(5))
+	res := mustSolveLP(t, lp)
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestLPZeroVariables(t *testing.T) {
+	// No variables, no constraints: trivially optimal at objective 0.
+	res := mustSolveLP(t, &LP{NumVars: 0})
+	if res.Status != Optimal || res.X.Len() != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// No variables but an unsatisfiable constraint 0 >= 1.
+	bad := &LP{NumVars: 0}
+	bad.AddGE(NewVec(0), I(1))
+	res = mustSolveLP(t, bad)
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestLPAllZeroObjective(t *testing.T) {
+	lp := &LP{NumVars: 2, Objective: NewVec(2)}
+	lp.AddLE(VecOfInts(1, 1), I(10))
+	res := mustSolveLP(t, lp)
+	if res.Status != Optimal || res.Objective.Sign() != 0 {
+		t.Fatalf("res = %v obj=%s", res.Status, res.Objective)
+	}
+}
+
+func TestLPTightEqualityAtZero(t *testing.T) {
+	// x = 0 forced; maximize x gives 0.
+	lp := &LP{NumVars: 1, Objective: VecOfInts(1)}
+	lp.AddEQ(VecOfInts(1), Zero())
+	res := mustSolveLP(t, lp)
+	if res.Status != Optimal || res.Objective.Sign() != 0 {
+		t.Fatalf("res = %v obj=%s", res.Status, res.Objective)
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("relation strings wrong")
+	}
+	if Relation(9).String() == "" || LPStatus(9).String() == "" {
+		t.Error("unknown values should still render")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+}

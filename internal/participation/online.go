@@ -1,0 +1,181 @@
+package participation
+
+import (
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// This file implements §5's "On-line Participation": firms decide in
+// sequence, and the inventor — who observes how many firms have already
+// entered — advises the last mover deterministically. For k = 2 the paper's
+// rule is: participate exactly when one other firm has already entered
+// (completing the quorum earns v − c); abstain when none has (a solo entry
+// pays −c) and when the quorum is already met (free-riding earns v).
+//
+// Such advice is trivially *verifiable* given the disclosed count — the
+// paper notes this verification method reveals how many firms have played —
+// and false advice to the last mover causes an outright loss, which is the
+// point of requiring proofs: a counselee can always audit the consultant.
+
+// Decision is the advised action for one firm.
+type Decision bool
+
+// Advised actions.
+const (
+	Participate Decision = true
+	Abstain     Decision = false
+)
+
+func (d Decision) String() string {
+	if d == Participate {
+		return "participate"
+	}
+	return "abstain"
+}
+
+// LastMoverAdvice returns the inventor's advice for the final firm given the
+// number of firms that already chose to participate, together with the exact
+// gain the firm will realize by following it.
+func (g *Game) LastMoverAdvice(participantsSoFar int) (Decision, *big.Rat, error) {
+	if participantsSoFar < 0 || participantsSoFar > g.n-1 {
+		return Abstain, nil, fmt.Errorf("participation: %d prior participants impossible with n = %d",
+			participantsSoFar, g.n)
+	}
+	d := g.bestLastMove(participantsSoFar)
+	return d, g.lastMoverGain(participantsSoFar, d), nil
+}
+
+// VerifyLastMoverAdvice checks that the advised decision is a best reply
+// given the disclosed count, returning the guaranteed gain. A flipped
+// (false) advice is rejected with the loss it would have caused, so the
+// agent can quantify the damage when reporting the inventor.
+func (g *Game) VerifyLastMoverAdvice(participantsSoFar int, advised Decision) (*big.Rat, error) {
+	if participantsSoFar < 0 || participantsSoFar > g.n-1 {
+		return nil, fmt.Errorf("participation: %d prior participants impossible with n = %d",
+			participantsSoFar, g.n)
+	}
+	gainAdvised := g.lastMoverGain(participantsSoFar, advised)
+	gainOther := g.lastMoverGain(participantsSoFar, !advised)
+	if numeric.Lt(gainAdvised, gainOther) {
+		return nil, fmt.Errorf(
+			"participation: advice %q is not a best reply with %d prior participants: it yields %s, the alternative %s",
+			advised, participantsSoFar, gainAdvised.RatString(), gainOther.RatString())
+	}
+	return gainAdvised, nil
+}
+
+// bestLastMove picks the gain-maximizing decision (ties go to Abstain,
+// which risks nothing).
+func (g *Game) bestLastMove(count int) Decision {
+	if numeric.Gt(g.lastMoverGain(count, Participate), g.lastMoverGain(count, Abstain)) {
+		return Participate
+	}
+	return Abstain
+}
+
+// lastMoverGain is the deterministic payoff of the last mover.
+func (g *Game) lastMoverGain(count int, d Decision) *big.Rat {
+	if d == Participate {
+		if count+1 >= g.k {
+			return numeric.Sub(g.v, g.c) // quorum met including the firm
+		}
+		return numeric.Neg(g.c) // paid the fee, no quorum
+	}
+	if count >= g.k {
+		return numeric.Copy(g.v) // free ride on an already-met quorum
+	}
+	return numeric.Zero()
+}
+
+// OnlineOutcome is the exact analysis of the sequential game where the
+// first n−1 firms play the symmetric offline equilibrium probability p and
+// the last firm follows the inventor (or its flipped, false advice).
+type OnlineOutcome struct {
+	// LastMoverGain is the last firm's expected gain before arrival order is
+	// known.
+	LastMoverGain *big.Rat
+	// EarlyMoverGain is the expected gain of each of the first n−1 firms
+	// (they are exchangeable).
+	EarlyMoverGain *big.Rat
+	// RandomOrderGain is a uniformly random firm's expected gain:
+	// (1/n)·LastMoverGain + ((n−1)/n)·EarlyMoverGain.
+	RandomOrderGain *big.Rat
+}
+
+// AnalyzeOnline computes OnlineOutcome exactly by enumerating the 2^(n−1)
+// participation patterns of the early movers, each weighted by p. Set
+// flippedAdvice to analyze the paper's "false advice to the last agent"
+// scenario, where the inventor inverts its recommendation.
+func (g *Game) AnalyzeOnline(p *big.Rat, flippedAdvice bool) (*OnlineOutcome, error) {
+	if p.Sign() < 0 || p.Cmp(numeric.One()) > 0 {
+		return nil, fmt.Errorf("participation: probability %s outside [0, 1]", p.RatString())
+	}
+	m := g.n - 1 // early movers
+	q := numeric.Sub(numeric.One(), p)
+
+	lastGain := numeric.Zero()
+	earlyGainTotal := numeric.Zero() // summed over the m early movers
+
+	// Enumerate early-mover participation patterns.
+	for mask := 0; mask < 1<<m; mask++ {
+		count := popcount(mask)
+		weight := numeric.Mul(numeric.Pow(p, count), numeric.Pow(q, m-count))
+
+		advice := g.bestLastMove(count)
+		if flippedAdvice {
+			advice = !advice
+		}
+		lastParticipates := advice == Participate
+
+		total := count
+		if lastParticipates {
+			total++
+		}
+
+		// Last mover's realized gain.
+		lastGain = numeric.Add(lastGain, numeric.Mul(weight, g.realizedGain(lastParticipates, total)))
+
+		// Early movers' realized gains.
+		for i := 0; i < m; i++ {
+			participated := mask&(1<<i) != 0
+			earlyGainTotal = numeric.Add(earlyGainTotal,
+				numeric.Mul(weight, g.realizedGain(participated, total)))
+		}
+	}
+
+	early := numeric.Div(earlyGainTotal, numeric.I(int64(m)))
+	random := numeric.Div(
+		numeric.Add(lastGain, earlyGainTotal),
+		numeric.I(int64(g.n)))
+	return &OnlineOutcome{
+		LastMoverGain:   lastGain,
+		EarlyMoverGain:  early,
+		RandomOrderGain: random,
+	}, nil
+}
+
+// realizedGain is a firm's payoff given its own choice and the TOTAL number
+// of participants (including itself when it participated).
+func (g *Game) realizedGain(participated bool, total int) *big.Rat {
+	if participated {
+		if total >= g.k {
+			return numeric.Sub(g.v, g.c)
+		}
+		return numeric.Neg(g.c)
+	}
+	if total >= g.k {
+		return numeric.Copy(g.v)
+	}
+	return numeric.Zero()
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package participation
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"rationality/internal/numeric"
+)
+
+// ErrNoSymmetricEquilibrium is returned by Solve when the fee is too high
+// for any interior symmetric equilibrium to exist (c exceeds the maximum
+// pivot probability payoff).
+var ErrNoSymmetricEquilibrium = errors.New(
+	"participation: no interior symmetric equilibrium: the fee exceeds the peak pivot value")
+
+// Branch selects which root of the indifference condition Solve returns.
+// The pivot gap v·C(n−1,k−1)·p^{k−1}(1−p)^{n−k} − c is unimodal with its
+// peak at p* = (k−1)/(n−1); when c is below the peak there are two roots.
+type Branch int
+
+// Equilibrium branches.
+const (
+	// LowBranch is the root in (0, p*]: the "cautious" equilibrium with the
+	// smaller participation probability.
+	LowBranch Branch = iota + 1
+	// HighBranch is the root in [p*, 1): more aggressive participation.
+	HighBranch
+)
+
+// Solve computes the symmetric equilibrium probability on the requested
+// branch. This is the inventor's hard computation. The root is generally
+// irrational; Solve bisects with exact rational arithmetic until the
+// enclosing interval is narrower than tol and returns its midpoint together
+// with the exact indifference gap at that point. When the bisection lands on
+// an exact root (as in the paper's c/v = 3/8, n = 3 example, where
+// p = 1/4), the returned gap is exactly zero.
+func (g *Game) Solve(branch Branch, tol *big.Rat) (p, gap *big.Rat, err error) {
+	if tol.Sign() <= 0 {
+		return nil, nil, fmt.Errorf("participation: tolerance must be positive")
+	}
+	peak := numeric.R(int64(g.k-1), int64(g.n-1))
+	if g.PivotGap(peak).Sign() < 0 {
+		return nil, nil, ErrNoSymmetricEquilibrium
+	}
+
+	var lo, hi *big.Rat
+	switch branch {
+	case LowBranch:
+		lo, hi = numeric.Zero(), peak // gap(lo) = −c < 0 <= gap(hi)
+	case HighBranch:
+		lo, hi = peak, numeric.One() // gap(lo) >= 0 > gap(hi) = −c
+	default:
+		return nil, nil, fmt.Errorf("participation: unknown branch %d", int(branch))
+	}
+
+	// Invariant: the root lies in [lo, hi]; sign(gap) differs at the ends
+	// (increasing on the low branch, decreasing on the high branch).
+	increasing := branch == LowBranch
+	half := numeric.R(1, 2)
+	for numeric.Gt(numeric.Sub(hi, lo), tol) {
+		mid := numeric.Mul(numeric.Add(lo, hi), half)
+		s := g.PivotGap(mid).Sign()
+		if s == 0 {
+			return mid, numeric.Zero(), nil
+		}
+		below := s < 0 // gap negative at mid
+		if below == increasing {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	mid := numeric.Mul(numeric.Add(lo, hi), half)
+	return mid, g.IndifferenceGap(mid), nil
+}
+
+// SolveExact tries small-denominator rationals for an exact equilibrium
+// probability: every p = a/b with 2 <= b <= maxDenominator is tested against
+// the exact indifference condition. The paper's worked example (n = 3,
+// c/v = 3/8) has the exact roots p = 1/4 and p = 1/2. Returns ok = false
+// when no exact rational root with such a denominator exists.
+func (g *Game) SolveExact(branch Branch, maxDenominator int64) (p *big.Rat, ok bool) {
+	peak := numeric.R(int64(g.k-1), int64(g.n-1))
+	var best *big.Rat
+	for b := int64(2); b <= maxDenominator; b++ {
+		for a := int64(1); a < b; a++ {
+			cand := numeric.R(a, b)
+			onBranch := cand.Cmp(peak) <= 0
+			if branch == HighBranch {
+				onBranch = cand.Cmp(peak) >= 0
+			}
+			if !onBranch {
+				continue
+			}
+			if g.IndifferenceGap(cand).Sign() == 0 {
+				if best == nil || (branch == LowBranch && numeric.Lt(cand, best)) ||
+					(branch == HighBranch && numeric.Gt(cand, best)) {
+					best = cand
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}

@@ -1,0 +1,179 @@
+package proof
+
+import (
+	"fmt"
+
+	"rationality/internal/game"
+	"rationality/internal/numeric"
+)
+
+// CheckError is the verifier's rejection: it pinpoints which proof step
+// failed and why, so an agent can report the inventor to the reputation
+// system with evidence.
+type CheckError struct {
+	Step   string // which proposition failed: allStrat, allNash, NashMax, ...
+	Detail string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("proof rejected at step %s: %s", e.Step, e.Detail)
+}
+
+func reject(step, format string, args ...any) error {
+	return &CheckError{Step: step, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check verifies a §3 certificate against the game. It re-derives every
+// proof step with only local work per step:
+//
+//   - allStrat: Equilibria ∪ NonEquilibria covers the entire profile space
+//     exactly once (Fig. 2 line 30).
+//   - allNash: every listed equilibrium has no profitable deviation, and
+//     every listed counterexample is a genuinely improving deviation
+//     (Fig. 2 line 33).
+//   - advised: the advised profile is among the equilibria.
+//   - NashMax: every other equilibrium is ≤u the advised profile or carries
+//     a valid incomparability witness (Fig. 2 line 36); flipped for MinNash.
+//
+// A nil error means the advice is rational: feasible (a valid profile that
+// is an equilibrium) and optimal (maximal/minimal per the proof mode).
+func Check(g *game.Game, p *Proof) error {
+	if p == nil {
+		return reject("proof", "nil proof")
+	}
+	switch p.Mode {
+	case MaxNash, MinNash, AnyNash:
+	default:
+		return reject("proof", "unknown mode %v", p.Mode)
+	}
+
+	if !g.ValidProfile(p.Advised) {
+		return reject("isStrat", "advised profile %v invalid for the game", p.Advised)
+	}
+
+	// allStrat: exact coverage of the profile space.
+	seen := make(map[string]bool, g.NumProfiles())
+	record := func(q game.Profile) error {
+		if !g.ValidProfile(q) {
+			return reject("allStrat", "profile %v is not a strategy profile of the game", q)
+		}
+		key := q.String()
+		if seen[key] {
+			return reject("allStrat", "profile %v listed twice", q)
+		}
+		seen[key] = true
+		return nil
+	}
+	for _, e := range p.Equilibria {
+		if err := record(e); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.NonEquilibria {
+		if err := record(c.Profile); err != nil {
+			return err
+		}
+	}
+	if len(seen) != g.NumProfiles() {
+		return reject("allStrat", "proof enumerates %d of %d profiles", len(seen), g.NumProfiles())
+	}
+
+	// allNash, positive side: each claimed equilibrium really is one.
+	for _, e := range p.Equilibria {
+		if dev, deviates := g.FindDeviation(e); deviates {
+			return reject("allNash", "profile %v claimed as equilibrium but agent %d improves with strategy %d",
+				e, dev.Agent, dev.Strategy)
+		}
+	}
+	// allNash, negative side: each counterexample must be strictly improving.
+	for _, c := range p.NonEquilibria {
+		if c.Agent < 0 || c.Agent >= g.NumAgents() {
+			return reject("allNash", "counterexample for %v names agent %d out of range", c.Profile, c.Agent)
+		}
+		if c.Strategy < 0 || c.Strategy >= g.NumStrategies(c.Agent) {
+			return reject("allNash", "counterexample for %v names strategy %d out of range", c.Profile, c.Strategy)
+		}
+		if numeric.Le(gain(g, c.Profile, c.Agent, c.Strategy), numeric.Zero()) {
+			return reject("allNash", "counterexample for %v does not improve agent %d", c.Profile, c.Agent)
+		}
+	}
+
+	// advised membership.
+	advisedListed := false
+	for _, e := range p.Equilibria {
+		if e.Equal(p.Advised) {
+			advisedListed = true
+			break
+		}
+	}
+	if !advisedListed {
+		return reject("allNash", "advised profile %v not among the certified equilibria", p.Advised)
+	}
+
+	if p.Mode == AnyNash {
+		return nil
+	}
+	return checkOptimality(g, p)
+}
+
+// checkOptimality verifies the NashMax (or flipped NashMin) step.
+func checkOptimality(g *game.Game, p *Proof) error {
+	// Every non-advised equilibrium needs exactly one witness.
+	need := make(map[string]game.Profile, len(p.Equilibria))
+	for _, e := range p.Equilibria {
+		if !e.Equal(p.Advised) {
+			need[e.String()] = e
+		}
+	}
+	witnessed := make(map[string]bool, len(p.MaxWitnesses))
+	for _, w := range p.MaxWitnesses {
+		key := w.Equilibrium.String()
+		if _, ok := need[key]; !ok {
+			return reject("NashMax", "witness for %v, which is not a certified non-advised equilibrium", w.Equilibrium)
+		}
+		if witnessed[key] {
+			return reject("NashMax", "duplicate witness for %v", w.Equilibrium)
+		}
+		witnessed[key] = true
+		if err := checkWitness(g, p, w); err != nil {
+			return err
+		}
+	}
+	for key, e := range need {
+		if !witnessed[key] {
+			return reject("NashMax", "no optimality witness for equilibrium %v", e)
+		}
+	}
+	return nil
+}
+
+func checkWitness(g *game.Game, p *Proof, w MaxWitness) error {
+	lo, hi := w.Equilibrium, p.Advised // MaxNash orientation
+	if p.Mode == MinNash {
+		lo, hi = p.Advised, w.Equilibrium
+	}
+	switch w.Kind {
+	case LeAdvised:
+		if !g.LeU(lo, hi) {
+			return reject("NashMax", "claimed %v ≤u %v does not hold", lo, hi)
+		}
+	case NoComp:
+		iOther, iAdvised := w.AgentFavoringOther, w.AgentFavoringAdvised
+		for _, a := range []int{iOther, iAdvised} {
+			if a < 0 || a >= g.NumAgents() {
+				return reject("NashMax", "incomparability witness names agent %d out of range", a)
+			}
+		}
+		if !numeric.Gt(g.Payoff(iOther, w.Equilibrium), g.Payoff(iOther, p.Advised)) {
+			return reject("NashMax", "agent %d does not strictly prefer %v over the advised profile",
+				iOther, w.Equilibrium)
+		}
+		if !numeric.Gt(g.Payoff(iAdvised, p.Advised), g.Payoff(iAdvised, w.Equilibrium)) {
+			return reject("NashMax", "agent %d does not strictly prefer the advised profile over %v",
+				iAdvised, w.Equilibrium)
+		}
+	default:
+		return reject("NashMax", "unknown witness kind %v", w.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+
+	"rationality/internal/game"
+	"rationality/internal/numeric"
+)
+
+// ErrNoEquilibrium is returned by Build when the game has no pure Nash
+// equilibrium at all.
+var ErrNoEquilibrium = errors.New("proof: game has no pure Nash equilibrium")
+
+// Build constructs the §3 certificate for the given game and advised
+// profile. This is the (possibly expensive) work of the game inventor: it
+// enumerates the full profile space once. It fails when the advised profile
+// is not an equilibrium of the requested kind, since an honest inventor
+// cannot prove a false claim.
+func Build(g *game.Game, advised game.Profile, mode Mode) (*Proof, error) {
+	if !g.ValidProfile(advised) {
+		return nil, fmt.Errorf("proof: advised profile %v is not a valid profile", advised)
+	}
+	p := &Proof{Mode: mode, Advised: advised.Clone()}
+
+	g.ForEachProfile(func(q game.Profile) bool {
+		if dev, deviates := g.FindDeviation(q); deviates {
+			p.NonEquilibria = append(p.NonEquilibria, Counterexample{
+				Profile:  q.Clone(),
+				Agent:    dev.Agent,
+				Strategy: dev.Strategy,
+			})
+		} else {
+			p.Equilibria = append(p.Equilibria, q.Clone())
+		}
+		return true
+	})
+
+	advisedIsNash := false
+	for _, e := range p.Equilibria {
+		if e.Equal(advised) {
+			advisedIsNash = true
+			break
+		}
+	}
+	if !advisedIsNash {
+		return nil, fmt.Errorf("proof: advised profile %v is not a Nash equilibrium", advised)
+	}
+
+	if mode == AnyNash {
+		return p, nil
+	}
+
+	for _, e := range p.Equilibria {
+		if e.Equal(advised) {
+			continue
+		}
+		w, err := compareWitness(g, advised, e, mode)
+		if err != nil {
+			return nil, err
+		}
+		p.MaxWitnesses = append(p.MaxWitnesses, w)
+	}
+	return p, nil
+}
+
+// compareWitness produces the NashMax-step witness that equilibrium other
+// does not dominate advised (MaxNash mode) or is not dominated by it
+// (MinNash mode).
+func compareWitness(g *game.Game, advised, other game.Profile, mode Mode) (MaxWitness, error) {
+	lo, hi := other, advised // MaxNash: show other ≤u advised or noComp
+	if mode == MinNash {
+		lo, hi = advised, other // MinNash: show advised ≤u other or noComp
+	}
+	if g.LeU(lo, hi) {
+		return MaxWitness{Equilibrium: other.Clone(), Kind: LeAdvised}, nil
+	}
+	// Not ≤u: some agent strictly prefers lo. For incomparability we also
+	// need an agent strictly preferring hi; otherwise hi is dominated and the
+	// claim is false.
+	favLo, favHi := -1, -1
+	for i := 0; i < g.NumAgents(); i++ {
+		switch g.Payoff(i, lo).Cmp(g.Payoff(i, hi)) {
+		case 1:
+			if favLo < 0 {
+				favLo = i
+			}
+		case -1:
+			if favHi < 0 {
+				favHi = i
+			}
+		}
+	}
+	if favLo < 0 || favHi < 0 {
+		return MaxWitness{}, fmt.Errorf(
+			"proof: advised profile %v is dominated by equilibrium %v; cannot certify %v",
+			advised, other, mode)
+	}
+	w := MaxWitness{Equilibrium: other.Clone(), Kind: NoComp}
+	if mode == MinNash {
+		// lo == advised: favLo prefers the advised profile.
+		w.AgentFavoringAdvised, w.AgentFavoringOther = favLo, favHi
+	} else {
+		// lo == other: favLo prefers the other equilibrium.
+		w.AgentFavoringOther, w.AgentFavoringAdvised = favLo, favHi
+	}
+	return w, nil
+}
+
+// BuildBestAdvice finds a maximal (or minimal) equilibrium and proves it. It
+// is the inventor's end-to-end "advise + prove" step for small games; it
+// returns ErrNoEquilibrium when the game has no pure equilibrium.
+func BuildBestAdvice(g *game.Game, mode Mode) (*Proof, error) {
+	all := g.AllNash()
+	if len(all) == 0 {
+		return nil, ErrNoEquilibrium
+	}
+	if mode == AnyNash {
+		return Build(g, all[0], mode)
+	}
+	for _, candidate := range all {
+		ok := true
+		for _, other := range all {
+			if other.Equal(candidate) {
+				continue
+			}
+			dominatedByOther := g.LeU(candidate, other) && !g.LeU(other, candidate)
+			dominatesOther := g.LeU(other, candidate) && !g.LeU(candidate, other)
+			if mode == MaxNash && dominatedByOther {
+				ok = false
+				break
+			}
+			if mode == MinNash && dominatesOther {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return Build(g, candidate, mode)
+		}
+	}
+	// Unreachable: a finite preorder always has maximal and minimal elements.
+	return nil, ErrNoEquilibrium
+}
+
+// gain is a small helper shared with the checker: the utility delta for
+// agent i when switching from p to p.Change(i, si).
+func gain(g *game.Game, p game.Profile, i, si int) *numeric.Rat {
+	return numeric.Sub(g.Payoff(i, p.Change(i, si)), g.Payoff(i, p))
+}

@@ -1,0 +1,196 @@
+// Package reputation implements the trust layer of the rationality
+// authority: verifiers are "trustable service providers that profit from
+// selling general purpose verification procedures ... and therefore would
+// like to have a good long-lasting reputation". The paper notes "the
+// possibility of having several verifiers, such that their majority is
+// trusted. The reputation of the verifiers can be updated according to the
+// (majority of their) results", and that dishonest inventors, agents, and
+// verifiers "can be reported to a reputation system that audits their
+// actions".
+//
+// This package provides exactly that: a concurrent-safe registry of
+// reputation scores, majority voting across verifier verdicts with
+// automatic agreement-based score updates, and an append-only audit log of
+// misbehaviour reports.
+package reputation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Score tracks a party's track record. The reputation estimate is the
+// Laplace-smoothed success rate (Agreements+1)/(Total+2), so unknown parties
+// start at 1/2 and a single observation cannot saturate trust.
+type Score struct {
+	Agreements    int
+	Disagreements int
+}
+
+// Reputation returns the smoothed estimate in (0, 1).
+func (s Score) Reputation() float64 {
+	return float64(s.Agreements+1) / float64(s.Agreements+s.Disagreements+2)
+}
+
+// Registry is a concurrent-safe reputation store keyed by party identifier.
+// The zero value is NOT usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	scores map[string]Score
+	log    []Event
+	now    func() time.Time
+}
+
+// Event is one audit-log entry.
+type Event struct {
+	Time    time.Time
+	Party   string
+	Kind    EventKind
+	Details string
+}
+
+// EventKind classifies audit events.
+type EventKind int
+
+// Audit event kinds.
+const (
+	// Agreed: the party's verdict matched the majority.
+	Agreed EventKind = iota + 1
+	// Disagreed: the party's verdict contradicted the majority.
+	Disagreed
+	// Misbehaved: a verifiable offence (forged proof, false advice, broken
+	// commitment) with evidence in Details.
+	Misbehaved
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Agreed:
+		return "agreed"
+	case Disagreed:
+		return "disagreed"
+	case Misbehaved:
+		return "misbehaved"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// NewRegistry creates an empty registry using wall-clock time.
+func NewRegistry() *Registry {
+	return NewRegistryWithClock(time.Now)
+}
+
+// NewRegistryWithClock creates a registry with an injectable clock for
+// deterministic tests.
+func NewRegistryWithClock(now func() time.Time) *Registry {
+	return &Registry{scores: make(map[string]Score), now: now}
+}
+
+// Reputation returns the party's current smoothed reputation (1/2 for
+// unknown parties).
+func (r *Registry) Reputation(party string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scores[party].Reputation()
+}
+
+// Score returns the raw score of a party.
+func (r *Registry) Score(party string) Score {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scores[party]
+}
+
+// Trusted reports whether the party's reputation meets the threshold.
+func (r *Registry) Trusted(party string, threshold float64) bool {
+	return r.Reputation(party) >= threshold
+}
+
+// ReportAgreement records whether a party agreed with the majority.
+func (r *Registry) ReportAgreement(party string, agreed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scores[party]
+	kind := Agreed
+	if agreed {
+		s.Agreements++
+	} else {
+		s.Disagreements++
+		kind = Disagreed
+	}
+	r.scores[party] = s
+	r.log = append(r.log, Event{Time: r.now(), Party: party, Kind: kind})
+}
+
+// ReportMisbehaviour records a verifiable offence with evidence. It counts
+// as a disagreement with honesty and is logged with the evidence so the
+// party "can be excluded from acting in games" (§7).
+func (r *Registry) ReportMisbehaviour(party, evidence string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scores[party]
+	s.Disagreements++
+	r.scores[party] = s
+	r.log = append(r.log, Event{Time: r.now(), Party: party, Kind: Misbehaved, Details: evidence})
+}
+
+// Events returns a copy of the audit log in chronological order.
+func (r *Registry) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.log...)
+}
+
+// Parties returns the known party identifiers sorted by descending
+// reputation (then lexicographically for determinism).
+func (r *Registry) Parties() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.scores))
+	for p := range r.scores {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := r.scores[out[i]].Reputation(), r.scores[out[j]].Reputation()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ErrNoVerdicts is returned by MajorityVote when no verdicts are supplied.
+var ErrNoVerdicts = errors.New("reputation: no verdicts to vote on")
+
+// ErrTie is returned by MajorityVote on an exact tie.
+var ErrTie = errors.New("reputation: verdicts tied; no majority")
+
+// MajorityVote aggregates per-verifier accept/reject verdicts: the majority
+// outcome wins, each verifier's reputation is updated by agreement with the
+// majority, and the outcome is returned. On a tie nothing is updated and
+// ErrTie is returned — the agent should consult more verifiers.
+func (r *Registry) MajorityVote(verdicts map[string]bool) (bool, error) {
+	if len(verdicts) == 0 {
+		return false, ErrNoVerdicts
+	}
+	accepts := 0
+	for _, v := range verdicts {
+		if v {
+			accepts++
+		}
+	}
+	rejects := len(verdicts) - accepts
+	if accepts == rejects {
+		return false, ErrTie
+	}
+	outcome := accepts > rejects
+	for party, v := range verdicts {
+		r.ReportAgreement(party, v == outcome)
+	}
+	return outcome, nil
+}

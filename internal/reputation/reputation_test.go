@@ -1,0 +1,176 @@
+package reputation
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 6, 11, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestUnknownPartyStartsAtHalf(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Reputation("nobody"); got != 0.5 {
+		t.Errorf("reputation = %f, want 0.5", got)
+	}
+	if r.Trusted("nobody", 0.6) {
+		t.Error("unknown party should not clear a 0.6 threshold")
+	}
+	if !r.Trusted("nobody", 0.5) {
+		t.Error("unknown party should clear a 0.5 threshold")
+	}
+}
+
+func TestReputationUpdates(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	for i := 0; i < 8; i++ {
+		r.ReportAgreement("good", true)
+	}
+	r.ReportAgreement("good", false)
+	// (8+1)/(9+2) = 9/11.
+	if got := r.Reputation("good"); got != 9.0/11.0 {
+		t.Errorf("reputation = %f, want %f", got, 9.0/11.0)
+	}
+	s := r.Score("good")
+	if s.Agreements != 8 || s.Disagreements != 1 {
+		t.Errorf("score = %+v", s)
+	}
+}
+
+func TestReportMisbehaviourLogsEvidence(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	r.ReportMisbehaviour("evil-inventor", "forged NashMax witness for profile [0 1]")
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[0]
+	if e.Party != "evil-inventor" || e.Kind != Misbehaved || e.Details == "" {
+		t.Errorf("event = %+v", e)
+	}
+	if got := r.Reputation("evil-inventor"); got >= 0.5 {
+		t.Errorf("misbehaving party's reputation %f should drop below 0.5", got)
+	}
+}
+
+func TestEventsAreCopied(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	r.ReportAgreement("a", true)
+	events := r.Events()
+	events[0].Party = "tampered"
+	if r.Events()[0].Party != "a" {
+		t.Error("Events leaked internal state")
+	}
+}
+
+func TestMajorityVoteAccepts(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	outcome, err := r.MajorityVote(map[string]bool{"v1": true, "v2": true, "v3": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome {
+		t.Error("majority said accept")
+	}
+	if r.Reputation("v1") <= 0.5 || r.Reputation("v2") <= 0.5 {
+		t.Error("agreeing verifiers should gain reputation")
+	}
+	if r.Reputation("v3") >= 0.5 {
+		t.Error("dissenting verifier should lose reputation")
+	}
+}
+
+func TestMajorityVoteRejects(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	outcome, err := r.MajorityVote(map[string]bool{"v1": false, "v2": false, "v3": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome {
+		t.Error("majority said reject")
+	}
+}
+
+func TestMajorityVoteEdgeCases(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	if _, err := r.MajorityVote(nil); !errors.Is(err, ErrNoVerdicts) {
+		t.Errorf("err = %v, want ErrNoVerdicts", err)
+	}
+	if _, err := r.MajorityVote(map[string]bool{"a": true, "b": false}); !errors.Is(err, ErrTie) {
+		t.Errorf("err = %v, want ErrTie", err)
+	}
+	// Ties must not move reputations.
+	if r.Reputation("a") != 0.5 || r.Reputation("b") != 0.5 {
+		t.Error("tie moved reputations")
+	}
+}
+
+func TestPartiesSortedByReputation(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	r.ReportAgreement("mid", true)
+	r.ReportAgreement("mid", false)
+	for i := 0; i < 5; i++ {
+		r.ReportAgreement("high", true)
+	}
+	r.ReportMisbehaviour("low", "lied")
+	got := r.Parties()
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Parties = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentSafety(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.ReportAgreement("p", i%2 == 0)
+				_ = r.Reputation("p")
+				_, _ = r.MajorityVote(map[string]bool{"a": true, "b": true, "c": false})
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Score("p")
+	if s.Agreements+s.Disagreements != 1600 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Agreed.String() != "agreed" || Disagreed.String() != "disagreed" || Misbehaved.String() != "misbehaved" {
+		t.Error("EventKind strings wrong")
+	}
+}
+
+// Repeated majority voting drives an always-dissenting verifier's
+// reputation towards 0 and the honest majority's towards 1 — the paper's
+// long-lasting-reputation incentive.
+func TestReputationConvergence(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	for i := 0; i < 50; i++ {
+		if _, err := r.MajorityVote(map[string]bool{"h1": true, "h2": true, "liar": false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Reputation("h1") < 0.9 {
+		t.Errorf("honest verifier at %f, want > 0.9", r.Reputation("h1"))
+	}
+	if r.Reputation("liar") > 0.1 {
+		t.Errorf("dissenter at %f, want < 0.1", r.Reputation("liar"))
+	}
+}

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func BenchmarkInProcRoundTrip(b *testing.B) {
+	c := DialInProc(echoHandler)
+	defer c.Close()
+	req, err := NewMessage("ping", ping{N: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr(), time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req, err := NewMessage("ping", ping{N: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: messages of arbitrary payload bytes survive the envelope and
+// the in-process transport unchanged.
+func TestMessagePayloadRoundTripProperty(t *testing.T) {
+	c := DialInProc(echoHandler)
+	defer c.Close()
+	f := func(n int32, s string) bool {
+		req, err := NewMessage("ping", map[string]any{"n": n, "s": s})
+		if err != nil {
+			return false
+		}
+		resp, err := c.Call(context.Background(), req)
+		if err != nil {
+			return false
+		}
+		var out struct {
+			N int32  `json:"n"`
+			S string `json:"s"`
+		}
+		if err := resp.Decode(&out); err != nil {
+			return false
+		}
+		return out.N == n && out.S == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

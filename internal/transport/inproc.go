@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// InProcClient calls a Handler directly in the same process. It is the
+// transport used by tests, examples, and single-machine simulations; the
+// seam stays identical to TCP so parties cannot tell the difference.
+type InProcClient struct {
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+var _ Client = (*InProcClient)(nil)
+
+// DialInProc connects a client directly to the handler.
+func DialInProc(h Handler) *InProcClient {
+	return &InProcClient{handler: h}
+}
+
+// Call implements Client. Application errors returned by the handler are
+// translated into "error" messages and back, exactly like the TCP path, so
+// behaviour matches across transports.
+func (c *InProcClient) Call(ctx context.Context, req Message) (Message, error) {
+	c.mu.Lock()
+	closed := c.closed
+	h := c.handler
+	c.mu.Unlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	resp, err := h.Handle(ctx, req)
+	if err != nil {
+		resp = ErrorMessage(err)
+	}
+	if err := resp.AsError(); err != nil {
+		return Message{}, err
+	}
+	return resp, nil
+}
+
+// Close implements Client.
+func (c *InProcClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}

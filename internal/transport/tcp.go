@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer serves a Handler over TCP with a newline-free JSON stream codec
+// (one Message per json.Decoder token). Each accepted connection is served
+// by its own goroutine; Close stops accepting, closes live connections, and
+// waits for the serving goroutines to exit.
+type TCPServer struct {
+	listener net.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a server on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
+		listener: ln,
+		handler:  h,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Message
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up or sent garbage; drop the connection
+		}
+		resp, err := s.handler.Handle(context.Background(), req)
+		if err != nil {
+			resp = ErrorMessage(err)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight connections to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient is a Client over a single persistent TCP connection. Calls are
+// serialized: the protocol is strict request/response.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+var _ Client = (*TCPClient)(nil)
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &TCPClient{
+		conn: conn,
+		dec:  json.NewDecoder(conn),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Call implements Client. The context's deadline is applied to the
+// round trip via the connection deadline.
+func (c *TCPClient) Call(ctx context.Context, req Message) (Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Message{}, ErrClosed
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Message{}, fmt.Errorf("transport: setting deadline: %w", err)
+		}
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Message{}, fmt.Errorf("transport: sending request: %w", err)
+	}
+	var resp Message
+	if err := c.dec.Decode(&resp); err != nil {
+		return Message{}, fmt.Errorf("transport: reading reply: %w", err)
+	}
+	if err := resp.AsError(); err != nil {
+		return Message{}, err
+	}
+	return resp, nil
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

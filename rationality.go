@@ -1,0 +1,311 @@
+// Package rationality is the public API of the rationality-authority
+// library, a reproduction of
+//
+//	Dolev, Panagopoulou, Rabie, Schiller, Spirakis.
+//	"Rationality Authority for Provable Rational Behavior."
+//	Brief announcement PODC 2011; full version LNCS 9295 (2015).
+//
+// The library separates three parties: a possibly biased game INVENTOR that
+// announces a game together with advised actions and a checkable proof of
+// their feasibility and optimality; AGENTS that refuse to act on unverified
+// advice; and reputation-bearing VERIFIERS that sell general-purpose
+// verification procedures. Four proof systems are implemented, one per case
+// study of the paper:
+//
+//   - §3 enumeration certificates for pure Nash equilibria of finite
+//     strategic-form games (Coq-style, deliberately intractable);
+//   - §4 P1 interactive proofs for bimatrix games (supports only; the
+//     verifier recovers the equilibrium by solving a linear system) and P2
+//     private proofs (random membership queries bound by hash commitments;
+//     nothing about the other agent's strategy is revealed);
+//   - §5 participation-game advice (the symmetric equilibrium probability,
+//     verified exactly against the indifference condition), including the
+//     online last-mover variant;
+//   - §6 online congestion games (greedy vs. inventor-statistics routing on
+//     networks and parallel links, reproducing the paper's Fig. 7).
+//
+// This facade re-exports the user-facing surface of the internal packages;
+// see README.md for a quickstart and DESIGN.md for the architecture.
+package rationality
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+
+	"rationality/internal/bimatrix"
+	"rationality/internal/congestion"
+	"rationality/internal/core"
+	"rationality/internal/game"
+	"rationality/internal/identity"
+	"rationality/internal/interactive"
+	"rationality/internal/links"
+	"rationality/internal/numeric"
+	"rationality/internal/participation"
+	"rationality/internal/proof"
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+)
+
+// Exact arithmetic (see internal/numeric).
+type (
+	// Rat is an exact rational number (alias of math/big.Rat).
+	Rat = numeric.Rat
+	// Vec is a dense vector of rationals.
+	Vec = numeric.Vec
+	// Matrix is a dense matrix of rationals.
+	Matrix = numeric.Matrix
+)
+
+// Strategic-form games (see internal/game).
+type (
+	// Game is a finite strategic-form game with exact rational payoffs.
+	Game = game.Game
+	// Profile is a pure strategy profile.
+	Profile = game.Profile
+	// MixedProfile assigns each agent a distribution over its strategies.
+	MixedProfile = game.MixedProfile
+)
+
+// §3 proofs (see internal/proof).
+type (
+	// NashProof is the enumeration certificate of §3.
+	NashProof = proof.Proof
+	// ProofMode selects maximal/minimal/any-equilibrium certification.
+	ProofMode = proof.Mode
+)
+
+// Proof modes.
+const (
+	MaxNash = proof.MaxNash
+	MinNash = proof.MinNash
+	AnyNash = proof.AnyNash
+)
+
+// Bimatrix games and §4 interactive proofs.
+type (
+	// BimatrixGame is a 2-agent game in matrix form.
+	BimatrixGame = bimatrix.Game
+	// BimatrixEquilibrium is a mixed equilibrium with both values.
+	BimatrixEquilibrium = bimatrix.Equilibrium
+	// P1Advice is the support-revealing advice of protocol P1 (Fig. 3).
+	P1Advice = interactive.P1Advice
+	// P2Prover answers the private protocol P2 (Fig. 4).
+	P2Prover = interactive.P2Prover
+	// P2Config tunes the P2 verifier.
+	P2Config = interactive.P2Config
+	// P2Report carries the P2 verifier's outcome and query statistics.
+	P2Report = interactive.P2Report
+	// Role selects the row or column agent.
+	Role = interactive.Role
+)
+
+// Agent roles for protocol P2.
+const (
+	RowAgent = interactive.RowAgent
+	ColAgent = interactive.ColAgent
+)
+
+// §5 participation game.
+type (
+	// ParticipationGame is the n-firm auction participation game.
+	ParticipationGame = participation.Game
+	// Branch selects the low or high root of the indifference condition.
+	Branch = participation.Branch
+)
+
+// Equilibrium branches for the participation game.
+const (
+	LowBranch  = participation.LowBranch
+	HighBranch = participation.HighBranch
+)
+
+// §6 congestion games and parallel links.
+type (
+	// CongestionNetwork is a directed network with load-dependent delays.
+	CongestionNetwork = congestion.Network
+	// CongestionConfig is a configuration of routed agents.
+	CongestionConfig = congestion.Config
+	// LinkSystem is the m-parallel-links scheduling state.
+	LinkSystem = links.System
+	// Fig7Config parameterizes the paper's Fig. 7 experiment.
+	Fig7Config = links.Fig7Config
+	// Fig7Point is one x-axis point of Fig. 7.
+	Fig7Point = links.Fig7Point
+)
+
+// The rationality-authority framework (see internal/core).
+type (
+	// Announcement is the inventor's game+advice+proof message.
+	Announcement = core.Announcement
+	// Verdict is a verifier's answer.
+	Verdict = core.Verdict
+	// Agent consults inventors and verifies advice before acting.
+	Agent = core.Agent
+	// AgentConfig configures an Agent.
+	AgentConfig = core.AgentConfig
+	// InventorService serves announcements over a transport.
+	InventorService = core.InventorService
+	// VerifierService serves verification procedures over a transport.
+	VerifierService = core.VerifierService
+	// ReputationRegistry tracks party reputations and audit events.
+	ReputationRegistry = reputation.Registry
+	// Client is a transport client (in-process or TCP).
+	Client = transport.Client
+)
+
+// Proof formats understood by the bundled verification procedures.
+const (
+	FormatEnumeration   = core.FormatEnumeration
+	FormatP1            = core.FormatP1
+	FormatNAgent        = core.FormatNAgent
+	FormatParticipation = core.FormatParticipation
+	FormatCorrelated    = core.FormatCorrelated
+	FormatLastMover     = core.FormatLastMover
+)
+
+// Dominance kinds (see Game.Dominates, Game.DominantEquilibrium).
+const (
+	StrictDominance = game.Strict
+	WeakDominance   = game.Weak
+)
+
+// CorrelatedDistribution is a distribution over pure profiles; see
+// Game.IsCorrelatedEquilibrium and Game.SolveCorrelatedEquilibrium.
+type CorrelatedDistribution = game.CorrelatedDistribution
+
+// R returns the exact rational a/b.
+func R(a, b int64) *Rat { return numeric.R(a, b) }
+
+// I returns the exact rational a/1.
+func I(a int64) *Rat { return numeric.I(a) }
+
+// MustRat parses a rational literal like "3/8" or panics.
+func MustRat(s string) *Rat { return numeric.MustRat(s) }
+
+// NewGame creates a strategic-form game with the given per-agent strategy
+// counts and all payoffs zero.
+func NewGame(name string, strategyCounts []int) (*Game, error) {
+	return game.New(name, strategyCounts)
+}
+
+// NewBimatrixFromInts builds a 2-agent game from integer payoff matrices.
+func NewBimatrixFromInts(a, b [][]int64) *BimatrixGame { return bimatrix.FromInts(a, b) }
+
+// BuildNashProof constructs the §3 enumeration certificate for the advised
+// profile, or fails if the claim is false.
+func BuildNashProof(g *Game, advised Profile, mode ProofMode) (*NashProof, error) {
+	return proof.Build(g, advised, mode)
+}
+
+// CheckNashProof verifies a §3 certificate against the game.
+func CheckNashProof(g *Game, p *NashProof) error { return proof.Check(g, p) }
+
+// BuildP1Advice computes an equilibrium of the bimatrix game (the hard step)
+// and reduces it to the P1 support advice.
+func BuildP1Advice(g *BimatrixGame) (*P1Advice, *BimatrixEquilibrium, error) {
+	return interactive.BuildP1Advice(g)
+}
+
+// VerifyP1 runs both agents' P1 verifiers: it recovers the equilibrium from
+// the supports in polynomial time or rejects.
+func VerifyP1(g *BimatrixGame, advice *P1Advice) (*BimatrixEquilibrium, error) {
+	return interactive.VerifyP1(g, advice)
+}
+
+// VerifyP2 runs the private Fig. 4 verifier for one agent against a prover.
+func VerifyP2(g *BimatrixGame, role Role, prover P2Prover, cfg P2Config) (*P2Report, error) {
+	return interactive.VerifyP2(g, role, prover, cfg)
+}
+
+// NewHonestP2Prover builds the honest P2 prover for a known equilibrium,
+// drawing commitment salts from crypto/rand.
+func NewHonestP2Prover(g *BimatrixGame, eq *BimatrixEquilibrium) (P2Prover, error) {
+	return interactive.NewHonestProver(g, eq, cryptorand.Reader)
+}
+
+// NewParticipationGame creates the §5 game ⟨n, k, v, c⟩.
+func NewParticipationGame(n, k int, v, c *Rat) (*ParticipationGame, error) {
+	return participation.New(n, k, v, c)
+}
+
+// NewCongestionNetwork creates a network with n nodes.
+func NewCongestionNetwork(n int) (*CongestionNetwork, error) { return congestion.NewNetwork(n) }
+
+// NewReputationRegistry creates an empty reputation registry.
+func NewReputationRegistry() *ReputationRegistry { return reputation.NewRegistry() }
+
+// NewInventor wraps a prepared announcement as a servable party.
+func NewInventor(a Announcement) (*InventorService, error) { return core.NewInventorService(a) }
+
+// NewVerifier creates an honest verifier with the bundled procedures.
+func NewVerifier(id string) (*VerifierService, error) { return core.NewVerifierService(id) }
+
+// NewAgent builds the counselee party.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return core.NewAgent(cfg) }
+
+// DialInProc connects a client to a co-located party (an InventorService or
+// VerifierService) without any networking.
+func DialInProc(h transport.Handler) Client { return transport.DialInProc(h) }
+
+// AnnounceEnumeration is the honest inventor's §3 pipeline: find the best
+// equilibrium, prove it, package the announcement.
+func AnnounceEnumeration(inventorID string, g *Game, mode ProofMode) (Announcement, error) {
+	return core.AnnounceEnumeration(inventorID, g, mode)
+}
+
+// AnnounceP1 is the honest inventor's §4 pipeline for bimatrix games.
+func AnnounceP1(inventorID, name string, g *BimatrixGame) (Announcement, error) {
+	return core.AnnounceP1(inventorID, name, g)
+}
+
+// AnnounceParticipation is the honest inventor's §5 pipeline.
+func AnnounceParticipation(inventorID, name string, g *ParticipationGame, branch Branch) (Announcement, error) {
+	return core.AnnounceParticipation(inventorID, name, g, branch)
+}
+
+// KeyPair is an Ed25519 signing identity for announcement accountability.
+type KeyPair = identity.KeyPair
+
+// NewKeyPair generates a signing identity from crypto/rand.
+func NewKeyPair() (*KeyPair, error) { return identity.NewKeyPair() }
+
+// SignAnnouncement binds an announcement to a key pair; the inventor ID
+// becomes the signer's self-certifying identity.
+func SignAnnouncement(k *KeyPair, ann Announcement) (Announcement, error) {
+	return core.SignAnnouncement(k, ann)
+}
+
+// VerifyAnnouncementSignature checks an announcement's inventor signature.
+func VerifyAnnouncementSignature(ann Announcement) error {
+	return core.VerifyAnnouncementSignature(ann)
+}
+
+// AnnounceCorrelated solves the welfare-optimal correlated equilibrium and
+// packages it as a verifiable announcement (the untrusted correlation
+// device).
+func AnnounceCorrelated(inventorID string, g *Game) (Announcement, error) {
+	return core.AnnounceCorrelated(inventorID, g)
+}
+
+// AnnounceLastMover publishes the §5 online decision table with per-entry
+// verifiable best-reply claims.
+func AnnounceLastMover(inventorID, name string, g *ParticipationGame) (Announcement, error) {
+	return core.AnnounceLastMover(inventorID, name, g)
+}
+
+// NewP2ProverService exposes a P2 prover over a transport so the private
+// protocol can run between machines.
+func NewP2ProverService(p P2Prover) (*core.P2ProverService, error) {
+	return core.NewP2ProverService(p)
+}
+
+// NewRemoteP2Prover adapts a transport client into a P2Prover that
+// interactive verifiers can drive.
+func NewRemoteP2Prover(ctx context.Context, c Client) P2Prover {
+	return core.NewRemoteP2Prover(ctx, c)
+}
+
+// SimulateFig7Point runs the paper's Fig. 7 experiment for one link count.
+func SimulateFig7Point(m int, cfg Fig7Config) (Fig7Point, error) {
+	return links.SimulatePoint(m, cfg)
+}

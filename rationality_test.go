@@ -1,0 +1,218 @@
+package rationality
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// These tests exercise the library strictly through the public facade, the
+// way a downstream user would.
+
+func TestFacadeRationals(t *testing.T) {
+	if R(3, 8).RatString() != "3/8" || I(4).RatString() != "4" || MustRat("1/4").RatString() != "1/4" {
+		t.Fatal("rational helpers misbehave")
+	}
+}
+
+func TestFacadeEnumerationFlow(t *testing.T) {
+	g, err := NewGame("pd", []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPayoffs(Profile{0, 0}, I(3), I(3))
+	g.SetPayoffs(Profile{0, 1}, I(0), I(5))
+	g.SetPayoffs(Profile{1, 0}, I(5), I(0))
+	g.SetPayoffs(Profile{1, 1}, I(1), I(1))
+
+	p, err := BuildNashProof(g, Profile{1, 1}, MaxNash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckNashProof(g, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeP1AndP2(t *testing.T) {
+	g := NewBimatrixFromInts(
+		[][]int64{{1, -1}, {-1, 1}},
+		[][]int64{{-1, 1}, {1, -1}},
+	)
+	advice, eq, err := BuildP1Advice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyP1(g, advice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LambdaRow.Sign() != 0 {
+		t.Errorf("λ1 = %s", got.LambdaRow.RatString())
+	}
+
+	prover, err := NewHonestP2Prover(g, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyP2(g, RowAgent, prover, P2Config{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Accepted {
+		t.Fatal("honest P2 prover rejected")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	pg, err := NewParticipationGame(3, 2, I(8), I(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := AnnounceParticipation("inventor", "auction", pg, LowBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inventor, err := NewInventor(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifiers := map[string]Client{}
+	for _, id := range []string{"v1", "v2", "v3"} {
+		vs, err := NewVerifier(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifiers[id] = DialInProc(vs)
+	}
+	agent, err := NewAgent(AgentConfig{
+		Name:      "jane",
+		Inventor:  DialInProc(inventor),
+		Verifiers: verifiers,
+		Registry:  NewReputationRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("honest advice rejected through the facade")
+	}
+}
+
+func TestFacadeFig7(t *testing.T) {
+	pt, err := SimulateFig7Point(20, Fig7Config{Agents: 100, MaxLoad: 100, Iterations: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Links != 20 {
+		t.Errorf("Links = %d", pt.Links)
+	}
+}
+
+func TestFacadeSignedCorrelatedFlow(t *testing.T) {
+	g, err := NewGame("chicken", []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPayoffs(Profile{0, 0}, I(6), I(6))
+	g.SetPayoffs(Profile{0, 1}, I(2), I(7))
+	g.SetPayoffs(Profile{1, 0}, I(7), I(2))
+	g.SetPayoffs(Profile{1, 1}, I(0), I(0))
+
+	ann, err := AnnounceCorrelated("device", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := SignAnnouncement(k, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAnnouncementSignature(signed); err != nil {
+		t.Fatal(err)
+	}
+
+	inventor, err := NewInventor(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifiers := map[string]Client{}
+	for _, id := range []string{"v1", "v2", "v3"} {
+		vs, err := NewVerifier(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifiers[id] = DialInProc(vs)
+	}
+	agent, err := NewAgent(AgentConfig{
+		Name:                       "careful",
+		Inventor:                   DialInProc(inventor),
+		Verifiers:                  verifiers,
+		Registry:                   NewReputationRegistry(),
+		RequireSignedAnnouncements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("signed correlated advice rejected")
+	}
+}
+
+func TestFacadeLastMover(t *testing.T) {
+	g, err := NewParticipationGame(3, 2, I(8), I(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := AnnounceLastMover("auction-house", "entry", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Format != FormatLastMover {
+		t.Errorf("format = %s", ann.Format)
+	}
+}
+
+func TestFacadeDominanceAndCorrelated(t *testing.T) {
+	g, err := NewGame("pd", []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPayoffs(Profile{0, 0}, I(3), I(3))
+	g.SetPayoffs(Profile{0, 1}, I(0), I(5))
+	g.SetPayoffs(Profile{1, 0}, I(5), I(0))
+	g.SetPayoffs(Profile{1, 1}, I(1), I(1))
+	p, ok := g.DominantEquilibrium(StrictDominance)
+	if !ok || !p.Equal(Profile{1, 1}) {
+		t.Fatalf("dominant equilibrium = %v ok=%v", p, ok)
+	}
+	var d *CorrelatedDistribution
+	d, err = g.SolveCorrelatedEquilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsCorrelatedEquilibrium(d) {
+		t.Fatal("solver output rejected")
+	}
+}
+
+func TestFacadeCongestion(t *testing.T) {
+	net, err := NewCongestionNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", net.NumNodes())
+	}
+}
