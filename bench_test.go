@@ -349,3 +349,115 @@ func BenchmarkConsultationRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// --- Service layer (internal/service): cold vs cached vs batched ---
+//
+// The service benchmarks use 64 content-distinct announcements per
+// procedure so the cold and batch paths cannot hit the cache, and one
+// repeated announcement for the cached path. The cached numbers should sit
+// well below cold: a hit skips the procedure entirely.
+
+func serviceEnumAnnouncements(b *testing.B, n int) []Announcement {
+	b.Helper()
+	anns := make([]Announcement, n)
+	for i := range anns {
+		g, err := game.New(fmt.Sprintf("pd-%d", i), []int{2, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.SetPayoffs(game.Profile{0, 0}, numeric.I(3), numeric.I(3))
+		g.SetPayoffs(game.Profile{0, 1}, numeric.I(0), numeric.I(5))
+		g.SetPayoffs(game.Profile{1, 0}, numeric.I(5), numeric.I(0))
+		g.SetPayoffs(game.Profile{1, 1}, numeric.I(1), numeric.I(1))
+		ann, err := AnnounceEnumeration("bench-inventor", g, MaxNash)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anns[i] = ann
+	}
+	return anns
+}
+
+func serviceP1Announcements(b *testing.B, n int) []Announcement {
+	b.Helper()
+	g := NewBimatrixFromInts(
+		[][]int64{{1, -1}, {-1, 1}},
+		[][]int64{{-1, 1}, {1, -1}},
+	)
+	anns := make([]Announcement, n)
+	for i := range anns {
+		ann, err := AnnounceP1("bench-inventor", fmt.Sprintf("mp-%d", i), g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anns[i] = ann
+	}
+	return anns
+}
+
+func BenchmarkServiceVerification(b *testing.B) {
+	ctx := context.Background()
+	const distinct = 64
+	kinds := []struct {
+		name string
+		anns []Announcement
+	}{
+		{"enumeration", serviceEnumAnnouncements(b, distinct)},
+		{"p1", serviceP1Announcements(b, distinct)},
+	}
+	for _, k := range kinds {
+		// Cold: caching disabled, every verification runs the procedure.
+		b.Run("cold/"+k.name, func(b *testing.B) {
+			svc, err := NewVerificationService(ServiceConfig{ID: "bench", CacheSize: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.VerifyAnnouncement(ctx, k.anns[i%distinct]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Cached: one warmed entry served repeatedly.
+		b.Run("cached/"+k.name, func(b *testing.B) {
+			svc, err := NewVerificationService(ServiceConfig{ID: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			if _, err := svc.VerifyAnnouncement(ctx, k.anns[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.VerifyAnnouncement(ctx, k.anns[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Batched: all 64 distinct announcements fanned across the pool in
+		// one call; caching disabled so every item costs a real verification.
+		b.Run("batch/"+k.name, func(b *testing.B) {
+			svc, err := NewVerificationService(ServiceConfig{ID: "bench", CacheSize: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				verdicts, err := svc.VerifyBatch(ctx, k.anns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range verdicts {
+					if !v.Accepted {
+						b.Fatalf("rejected: %s", v.Reason)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*distinct)/b.Elapsed().Seconds(), "verifications/s")
+		})
+	}
+}

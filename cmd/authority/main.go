@@ -2,14 +2,28 @@
 // processes, so a deployment can put the inventor, each verifier, and each
 // agent on different machines:
 //
-//	# terminal 1: a verifier selling its procedures on :7101
-//	authority verifier -id verify-corp -listen 127.0.0.1:7101
+//	# terminal 1: a verifier selling its procedures on :7101 through the
+//	# concurrent service layer (8 workers, 4096 cached verdicts)
+//	authority verifier -id verify-corp -listen 127.0.0.1:7101 -workers 8 -cache-size 4096
 //
 //	# terminal 2: an inventor announcing a built-in demo game on :7100
 //	authority inventor -game pd -listen 127.0.0.1:7100
 //
 //	# terminal 3: an agent consulting both
 //	authority agent -inventor 127.0.0.1:7100 -verifiers verify-corp=127.0.0.1:7101
+//
+//	# batch-verify 100 copies of a demo announcement in one round trip
+//	authority batch -verifier 127.0.0.1:7101 -game pd -count 100
+//
+//	# inspect the verifier's live service counters
+//	authority stats -verifier 127.0.0.1:7101
+//
+// The verifier serves through internal/service: a bounded worker pool
+// (-workers), a content-addressed verdict cache with singleflight
+// deduplication (-cache-size; negative disables caching), the batch
+// protocol ("verify-batch") and a stats endpoint ("service-stats"). On
+// SIGINT/SIGTERM it drains gracefully — in-flight verifications finish —
+// and prints the final service counters.
 //
 // Built-in demo games: pd (Prisoner's Dilemma, §3 enumeration proof),
 // mp (Matching Pennies, §4 P1 supports), auction (the §5 participation game
@@ -34,6 +48,7 @@ import (
 	"rationality/internal/participation"
 	"rationality/internal/proof"
 	"rationality/internal/reputation"
+	"rationality/internal/service"
 	"rationality/internal/transport"
 )
 
@@ -50,6 +65,10 @@ func main() {
 		err = runVerifier(os.Args[2:])
 	case "agent":
 		err = runAgent(os.Args[2:])
+	case "batch":
+		err = runBatch(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
 	case "p2-prover":
 		err = runP2Prover(os.Args[2:])
 	case "p2-verify":
@@ -65,11 +84,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent> [flags]
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|stats> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
-  authority verifier -id <name> -listen <addr>
+  authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n]
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>]
+  authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n]
+  authority stats -verifier <addr>
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
   authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
 }
@@ -138,17 +159,35 @@ func runVerifier(args []string) error {
 	fs := flag.NewFlagSet("verifier", flag.ExitOnError)
 	id := fs.String("id", "verifier-1", "verifier identifier")
 	listen := fs.String("listen", "127.0.0.1:7101", "listen address")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache-size", service.DefaultCacheSize,
+		"verdict-cache entries (negative disables caching)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var svc *core.VerifierService
-	var err error
 	if *corrupt {
-		svc, err = core.NewCorruptVerifierService(*id)
-	} else {
-		svc, err = core.NewVerifierService(*id)
+		// The adversarial test double stays on the direct path: a liar does
+		// not get the benefit of a consistent cache.
+		svc, err := core.NewCorruptVerifierService(*id)
+		if err != nil {
+			return err
+		}
+		srv, err := transport.ListenTCP(*listen, svc)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("verifier %q selling procedures on %s (corrupt=true)\n", *id, srv.Addr())
+		waitForSignal()
+		return nil
 	}
+	svc, err := service.New(service.Config{
+		ID:         *id,
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		Reputation: reputation.NewRegistry(),
+	})
 	if err != nil {
 		return err
 	}
@@ -156,9 +195,113 @@ func runVerifier(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	fmt.Printf("verifier %q selling procedures on %s (corrupt=%v)\n", *id, srv.Addr(), *corrupt)
+	fmt.Printf("verifier %q serving %d formats on %s (workers=%d cache=%d)\n",
+		*id, len(svc.Formats()), srv.Addr(), svc.Stats().Workers, *cacheSize)
 	waitForSignal()
+	// Graceful drain: stop accepting, let in-flight verifications finish,
+	// then report the service counters.
+	fmt.Println("draining...")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	printStats(svc.Stats())
+	return nil
+}
+
+func printStats(st service.Stats) {
+	fmt.Printf("requests=%d batches=%d hits=%d misses=%d deduped=%d\n",
+		st.Requests, st.Batches, st.CacheHits, st.CacheMisses, st.Deduplicated)
+	fmt.Printf("accepted=%d rejected=%d failures=%d peakInFlight=%d cacheEntries=%d workers=%d\n",
+		st.Accepted, st.Rejected, st.Failures, st.PeakInFlight, st.CacheEntries, st.Workers)
+	if st.Latency.Count > 0 {
+		fmt.Printf("latency: n=%d mean=%s min=%s max=%s\n",
+			st.Latency.Count, st.Latency.Mean, st.Latency.Min, st.Latency.Max)
+	}
+}
+
+// runBatch submits count copies of a built-in announcement as one
+// verify-batch request — a load probe for the service layer.
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
+	gameName := fs.String("game", "pd", "built-in game: pd, mp, auction, pd-forged")
+	count := fs.Int("count", 10, "announcements per batch")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ann, err := buildAnnouncement(*gameName, "")
+	if err != nil {
+		return err
+	}
+	anns := make([]core.Announcement, *count)
+	for i := range anns {
+		anns[i] = ann
+	}
+	client, err := transport.DialTCP(*verifierAddr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	req, err := transport.NewMessage(service.MsgVerifyBatch, service.BatchVerifyRequest{Announcements: anns})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := client.Call(ctx, req)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var br service.BatchVerifyResponse
+	if err := resp.Decode(&br); err != nil {
+		return err
+	}
+	accepted := 0
+	for _, v := range br.Verdicts {
+		if v.Accepted {
+			accepted++
+		}
+	}
+	fmt.Printf("batch of %d to %s: accepted=%d rejected=%d in %s\n",
+		len(br.Verdicts), br.VerifierID, accepted, len(br.Verdicts)-accepted, elapsed)
+	return nil
+}
+
+// runStats queries a running verifier's service counters.
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := transport.DialTCP(*verifierAddr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	req, err := transport.NewMessage(service.MsgServiceStats, struct{}{})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := client.Call(ctx, req)
+	if err != nil {
+		return err
+	}
+	var sr service.StatsResponse
+	if err := resp.Decode(&sr); err != nil {
+		return err
+	}
+	fmt.Printf("verifier %q\n", sr.VerifierID)
+	printStats(sr.Stats)
 	return nil
 }
 

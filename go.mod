@@ -1,0 +1,3 @@
+module rationality
+
+go 1.24

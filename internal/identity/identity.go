@@ -9,6 +9,8 @@ package identity
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -64,6 +66,21 @@ func Verify(id PartyID, message, sig []byte) error {
 		return ErrBadSignature
 	}
 	return nil
+}
+
+// Digest returns the hex SHA-256 content address of the given parts. Each
+// part is length-prefixed before hashing, so ("ab","c") and ("a","bc") hash
+// differently; the result is stable across processes and suitable as a cache
+// key or as the subject of a signed evidence record.
+func Digest(parts ...[]byte) string {
+	h := sha256.New()
+	var prefix [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(prefix[:], uint64(len(p)))
+		h.Write(prefix[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Envelope is a signed payload: the binding a reputation report can carry as

@@ -128,3 +128,21 @@ func TestEnvelopeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDigestStableAndBoundaryAware(t *testing.T) {
+	d1 := Digest([]byte("format"), []byte("game"), []byte("advice"))
+	d2 := Digest([]byte("format"), []byte("game"), []byte("advice"))
+	if d1 != d2 {
+		t.Fatal("Digest is not deterministic")
+	}
+	if len(d1) != 64 {
+		t.Fatalf("Digest length = %d, want 64 hex chars", len(d1))
+	}
+	// Length prefixes must keep part boundaries significant.
+	if Digest([]byte("ab"), []byte("c")) == Digest([]byte("a"), []byte("bc")) {
+		t.Fatal("Digest collides across shifted part boundaries")
+	}
+	if Digest([]byte("x")) == Digest([]byte("x"), nil) {
+		t.Fatal("Digest ignores trailing empty parts")
+	}
+}

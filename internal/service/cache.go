@@ -1,0 +1,90 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"rationality/internal/core"
+)
+
+// verdictCache is a bounded LRU of content-addressed verdicts. Keys are
+// identity.Digest hashes over (format, game, advice, proof), so two
+// announcements with byte-identical contents share an entry regardless of
+// which inventor or agent submitted them.
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	verdict core.Verdict
+}
+
+// newVerdictCache returns a cache bounded to capacity entries; a capacity
+// of zero or less disables caching (every Get misses, Put is a no-op).
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns a copy of the cached verdict, if present.
+func (c *verdictCache) Get(key string) (*core.Verdict, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	v := copyVerdict(el.Value.(*cacheEntry).verdict)
+	return &v, true
+}
+
+// Put stores a verdict, evicting the least recently used entry when full.
+func (c *verdictCache) Put(key string, v core.Verdict) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).verdict = copyVerdict(v)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, verdict: copyVerdict(v)})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current number of cached verdicts.
+func (c *verdictCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// copyVerdict deep-copies a verdict so cached state cannot be mutated
+// through a returned pointer (Details is a map).
+func copyVerdict(v core.Verdict) core.Verdict {
+	if v.Details != nil {
+		details := make(map[string]string, len(v.Details))
+		for k, val := range v.Details {
+			details[k] = val
+		}
+		v.Details = details
+	}
+	return v
+}

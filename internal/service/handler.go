@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"rationality/internal/core"
+	"rationality/internal/transport"
+)
+
+// Wire message types added by the service layer, alongside the classic
+// core.MsgVerify / core.MsgFormats which the service also answers.
+const (
+	// MsgVerifyBatch: agent → service. Payload BatchVerifyRequest; reply
+	// "batch-verdicts" with BatchVerifyResponse.
+	MsgVerifyBatch = "verify-batch"
+	// MsgServiceStats: operator → service. Empty payload; reply "stats"
+	// with StatsResponse.
+	MsgServiceStats = "service-stats"
+)
+
+// BatchVerifyRequest asks the service to verify a slice of announcements.
+// Carrying full announcements (not bare verify requests) lets the service
+// record every verdict against the responsible inventor.
+type BatchVerifyRequest struct {
+	Announcements []core.Announcement `json:"announcements"`
+}
+
+// BatchVerifyResponse returns one verdict per announcement, in order.
+type BatchVerifyResponse struct {
+	VerifierID string         `json:"verifierId"`
+	Verdicts   []core.Verdict `json:"verdicts"`
+}
+
+// StatsResponse is the service's operational snapshot on the wire.
+type StatsResponse struct {
+	VerifierID string `json:"verifierId"`
+	Stats      Stats  `json:"stats"`
+}
+
+var _ transport.Handler = (*Service)(nil)
+
+// Handle implements transport.Handler: the service is a drop-in
+// replacement for core.VerifierService that additionally understands batch
+// verification and stats inspection.
+func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case core.MsgVerify:
+		var vr core.VerifyRequest
+		if err := req.Decode(&vr); err != nil {
+			return transport.Message{}, err
+		}
+		verdict, err := s.Verify(ctx, vr)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("verdict", core.VerifyResponse{VerifierID: s.id, Verdict: *verdict})
+	case core.MsgFormats:
+		return transport.NewMessage("formats", core.FormatsResponse{
+			VerifierID: s.id,
+			Formats:    s.Formats(),
+		})
+	case MsgVerifyBatch:
+		var br BatchVerifyRequest
+		if err := req.Decode(&br); err != nil {
+			return transport.Message{}, err
+		}
+		verdicts, err := s.VerifyBatch(ctx, br.Announcements)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("batch-verdicts", BatchVerifyResponse{
+			VerifierID: s.id,
+			Verdicts:   verdicts,
+		})
+	case MsgServiceStats:
+		return transport.NewMessage("stats", StatsResponse{VerifierID: s.id, Stats: s.Stats()})
+	default:
+		return transport.Message{}, fmt.Errorf("service: cannot handle %q", req.Type)
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rationality/internal/core"
+	"rationality/internal/game"
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+)
+
+// TestHandlerDropInForVerifierService: the classic agent protocol
+// ("verify", "formats") must work unchanged against the service, over the
+// in-process transport.
+func TestHandlerVerifyAndFormats(t *testing.T) {
+	s := newTestService(t, Config{ID: "svc-1"})
+	client := transport.DialInProc(s)
+	ann := pdAnnouncement(t)
+
+	req, err := transport.NewMessage(core.MsgVerify, core.VerifyRequest{
+		Format: ann.Format, Game: ann.Game, Advice: ann.Advice, Proof: ann.Proof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Call(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vr core.VerifyResponse
+	if err := resp.Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.VerifierID != "svc-1" || !vr.Verdict.Accepted {
+		t.Fatalf("verify reply = %+v", vr)
+	}
+
+	req, err = transport.NewMessage(core.MsgFormats, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Call(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr core.FormatsResponse
+	if err := resp.Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Formats) == 0 {
+		t.Fatal("no formats advertised")
+	}
+}
+
+func TestHandlerBatchAndStatsOverTCP(t *testing.T) {
+	rep := reputation.NewRegistry()
+	s := newTestService(t, Config{ID: "svc-tcp", Reputation: rep})
+	srv, err := transport.ListenTCP("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := transport.DialTCP(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	honest := pdAnnouncement(t)
+	forged, err := core.AnnounceEnumerationForged("shady", game.PrisonersDilemma(), game.Profile{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := transport.NewMessage(MsgVerifyBatch, BatchVerifyRequest{
+		Announcements: []core.Announcement{honest, forged},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Call(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "batch-verdicts" {
+		t.Fatalf("reply type = %q", resp.Type)
+	}
+	var br BatchVerifyResponse
+	if err := resp.Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Verdicts) != 2 || !br.Verdicts[0].Accepted || br.Verdicts[1].Accepted {
+		t.Fatalf("batch verdicts = %+v", br.Verdicts)
+	}
+
+	// A second batch repeating the honest announcement: the first batch has
+	// fully completed (strict request/response), so this is a definite hit.
+	req, err = transport.NewMessage(MsgVerifyBatch, BatchVerifyRequest{
+		Announcements: []core.Announcement{honest},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = client.Call(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err = transport.NewMessage(MsgServiceStats, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Call(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StatsResponse
+	if err := resp.Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.VerifierID != "svc-tcp" || sr.Stats.Requests != 3 || sr.Stats.Batches != 2 {
+		t.Fatalf("stats reply = %+v", sr)
+	}
+	if sr.Stats.CacheHits != 1 {
+		t.Fatalf("cache counters = %+v, want exactly 1 hit from the repeat batch", sr.Stats)
+	}
+	if rep.Score("shady").Disagreements != 1 {
+		t.Fatal("forger not reported over the wire path")
+	}
+}
+
+func TestHandlerUnknownTypeAndMalformedPayload(t *testing.T) {
+	s := newTestService(t, Config{ID: "svc-err"})
+	client := transport.DialInProc(s)
+
+	if _, err := client.Call(context.Background(), transport.Message{Type: "bogus"}); err == nil {
+		t.Fatal("unknown message type succeeded")
+	}
+	malformed := transport.Message{Type: MsgVerifyBatch, Payload: []byte(`{"announcements": 42}`)}
+	if _, err := client.Call(context.Background(), malformed); err == nil {
+		t.Fatal("malformed batch payload succeeded")
+	}
+}
+
+// TestAgentConsultsServiceBackedVerifier runs the full Fig. 1 consultation
+// with the new service standing in for core.VerifierService.
+func TestAgentConsultsServiceBackedVerifier(t *testing.T) {
+	ann := pdAnnouncement(t)
+	inventor, err := core.NewInventorService(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifiers := make(map[string]transport.Client)
+	for _, id := range []string{"v1", "v2", "v3"} {
+		verifiers[id] = transport.DialInProc(newTestService(t, Config{ID: id}))
+	}
+	agent, err := core.NewAgent(core.AgentConfig{
+		Name:      "jane",
+		Inventor:  transport.DialInProc(inventor),
+		Verifiers: verifiers,
+		Registry:  reputation.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || len(res.Verdicts) != 3 {
+		t.Fatalf("consultation = %+v", res)
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the service's operational counters. Counters are
+// atomics so the hot path never takes a lock; the latency summary is
+// guarded by its own small mutex.
+type metrics struct {
+	requests     atomic.Uint64
+	batches      atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	deduplicated atomic.Uint64
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	failures     atomic.Uint64
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+
+	mu       sync.Mutex
+	latCount uint64
+	latTotal time.Duration
+	latMin   time.Duration
+	latMax   time.Duration
+}
+
+// begin records an arriving request and returns its start time.
+func (m *metrics) begin() time.Time {
+	m.requests.Add(1)
+	n := m.inFlight.Add(1)
+	for {
+		peak := m.peakInFlight.Load()
+		if n <= peak || m.peakInFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return time.Now()
+}
+
+// end records a completed request and its latency.
+func (m *metrics) end(start time.Time) {
+	m.inFlight.Add(-1)
+	elapsed := time.Since(start)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latCount++
+	m.latTotal += elapsed
+	if m.latMin == 0 || elapsed < m.latMin {
+		m.latMin = elapsed
+	}
+	if elapsed > m.latMax {
+		m.latMax = elapsed
+	}
+}
+
+// LatencySummary describes the observed request latencies.
+type LatencySummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	Min   time.Duration `json:"min"`
+	Max   time.Duration `json:"max"`
+}
+
+// Stats is a point-in-time snapshot of the service's counters, suitable
+// for the "service-stats" wire reply and for operator dashboards.
+type Stats struct {
+	// Requests counts single verifications (batch items included).
+	Requests uint64 `json:"requests"`
+	// Batches counts VerifyBatch calls.
+	Batches uint64 `json:"batches"`
+	// CacheHits / CacheMisses partition requests by verdict-cache outcome.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	// Deduplicated counts requests that shared a concurrent identical
+	// verification instead of running their own (singleflight followers).
+	Deduplicated uint64 `json:"deduplicated"`
+	// Accepted / Rejected partition delivered verdicts.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	// Failures counts requests that produced no verdict at all (unknown
+	// format, cancelled context, service shutdown).
+	Failures uint64 `json:"failures"`
+	// InFlight is the number of requests currently being served;
+	// PeakInFlight is the highest concurrency observed.
+	InFlight     int64 `json:"inFlight"`
+	PeakInFlight int64 `json:"peakInFlight"`
+	// CacheEntries is the current verdict-cache population; Workers the
+	// executor pool size.
+	CacheEntries int `json:"cacheEntries"`
+	Workers      int `json:"workers"`
+	// Latency summarizes end-to-end request latencies.
+	Latency LatencySummary `json:"latency"`
+}
+
+// snapshot assembles a Stats value from the live counters.
+func (m *metrics) snapshot(cacheEntries, workers int) Stats {
+	s := Stats{
+		Requests:     m.requests.Load(),
+		Batches:      m.batches.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		Deduplicated: m.deduplicated.Load(),
+		Accepted:     m.accepted.Load(),
+		Rejected:     m.rejected.Load(),
+		Failures:     m.failures.Load(),
+		InFlight:     m.inFlight.Load(),
+		PeakInFlight: m.peakInFlight.Load(),
+		CacheEntries: cacheEntries,
+		Workers:      workers,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.Latency = LatencySummary{Count: m.latCount, Min: m.latMin, Max: m.latMax}
+	if m.latCount > 0 {
+		s.Latency.Mean = m.latTotal / time.Duration(m.latCount)
+	}
+	return s
+}

@@ -1,0 +1,352 @@
+// Package service is the verification-authority service layer: a
+// long-running, concurrent front for the core.ProcedureRegistry. The paper
+// casts verifiers as "trustable service providers that profit from selling
+// general purpose verification procedures"; this package makes that literal
+// with the machinery a selling service needs under load:
+//
+//   - a bounded worker pool, so many agents can submit announcements
+//     concurrently without unbounded goroutine growth;
+//   - a content-addressed verdict cache (SHA-256 over format, game, advice
+//     and proof via identity.Digest) with singleflight deduplication, so a
+//     popular announcement is verified exactly once no matter how many
+//     agents ask at the same time;
+//   - a batch API that fans a slice of announcements across the pool and
+//     aggregates the verdicts in order;
+//   - request/hit/miss/dedup counters, an in-flight gauge and latency
+//     summaries, exposed as a Stats snapshot and over the wire;
+//   - automatic reputation recording: verdicts on announcements are fed to
+//     a reputation.Registry, so inventors whose proofs fail verification
+//     accumulate auditable misbehaviour reports.
+//
+// The service implements transport.Handler, understands the classic
+// "verify" and "formats" messages plus the new "verify-batch" and
+// "service-stats" ones, and drains gracefully on Close: in-flight requests
+// finish, new ones are refused with ErrServiceClosed.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rationality/internal/core"
+	"rationality/internal/identity"
+	"rationality/internal/reputation"
+)
+
+// ErrServiceClosed is returned for requests submitted after Close.
+var ErrServiceClosed = errors.New("service: closed")
+
+// DefaultCacheSize bounds the verdict cache when Config.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// Config configures a verification service.
+type Config struct {
+	// ID is the verifier identity reported in wire replies. Required.
+	ID string
+	// Procedures is the registry to serve; nil means the bundled
+	// procedures (core.NewProcedureRegistry).
+	Procedures *core.ProcedureRegistry
+	// Workers bounds concurrent procedure executions; zero or negative
+	// means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the verdict cache in entries. Zero means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// Reputation, when non-nil, receives a record for every verdict on an
+	// announcement: acceptance as agreement, rejection as a misbehaviour
+	// report against the inventor.
+	Reputation *reputation.Registry
+}
+
+// Service is a concurrent, cached verification authority. It is safe for
+// use by many goroutines; create it with New and release it with Close.
+type Service struct {
+	id      string
+	procs   *core.ProcedureRegistry
+	cache   *verdictCache
+	flight  *flightGroup
+	metrics metrics
+	rep     *reputation.Registry
+	workers int
+
+	jobs     chan func()
+	workerWG sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// New starts a service: the worker pool is live when New returns.
+func New(cfg Config) (*Service, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("service: config needs an ID")
+	}
+	procs := cfg.Procedures
+	if procs == nil {
+		procs = core.NewProcedureRegistry()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	s := &Service{
+		id:      cfg.ID,
+		procs:   procs,
+		cache:   newVerdictCache(cacheSize),
+		flight:  newFlightGroup(),
+		rep:     cfg.Reputation,
+		workers: workers,
+		jobs:    make(chan func()),
+	}
+	s.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Service) worker() {
+	defer s.workerWG.Done()
+	for job := range s.jobs {
+		job()
+	}
+}
+
+// ID returns the verifier identity this service answers as.
+func (s *Service) ID() string { return s.id }
+
+// Register adds a custom procedure to the served registry.
+func (s *Service) Register(p core.Procedure) { s.procs.Register(p) }
+
+// Formats lists the proof formats this service can check.
+func (s *Service) Formats() []string { return s.procs.Formats() }
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return s.metrics.snapshot(s.cache.Len(), s.workers)
+}
+
+// Verify checks one verification request. Unintelligible-but-parseable
+// inputs come back as rejection verdicts (matching core.VerifierService);
+// an error means no verdict was produced at all (unknown format, cancelled
+// context, closed service).
+func (s *Service) Verify(ctx context.Context, req core.VerifyRequest) (*core.Verdict, error) {
+	return s.verify(ctx, "", req.Format, req.Game, req.Advice, req.Proof)
+}
+
+// VerifyAnnouncement checks an inventor's announcement and, when the
+// service carries a reputation registry, records the verdict against the
+// inventor: acceptance as agreement, rejection as a misbehaviour report.
+func (s *Service) VerifyAnnouncement(ctx context.Context, ann core.Announcement) (*core.Verdict, error) {
+	return s.verify(ctx, ann.InventorID, ann.Format, ann.Game, ann.Advice, ann.Proof)
+}
+
+// VerifyBatch fans the announcements across the worker pool and returns
+// one verdict per announcement, in input order. Items whose inputs cannot
+// be verified (e.g. an unknown proof format) appear as rejection verdicts
+// carrying the reason, so the slice always aligns with the input; an
+// infrastructure failure (cancelled context, service shutdown) fails the
+// whole batch with an error instead of masquerading as rejections.
+// Fan-out is bounded by the pool size — batch length is wire-controlled,
+// so it must not translate into unbounded goroutines. A started batch
+// counts as one in-flight request: Close waits for it to finish.
+func (s *Service) VerifyBatch(ctx context.Context, anns []core.Announcement) ([]core.Verdict, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.inflight.Done()
+	s.metrics.batches.Add(1)
+	verdicts := make([]core.Verdict, len(anns))
+	fanout := min(len(anns), s.workers)
+	if fanout == 0 {
+		return verdicts, nil
+	}
+	var mu sync.Mutex
+	var batchErr error
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(fanout)
+	for w := 0; w < fanout; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				v, err := s.verifyRegistered(ctx, anns[i].InventorID, anns[i].Format,
+					anns[i].Game, anns[i].Advice, anns[i].Proof)
+				switch {
+				case err == nil:
+					verdicts[i] = *v
+				case isContextError(err) || errors.Is(err, ErrServiceClosed):
+					mu.Lock()
+					if batchErr == nil {
+						batchErr = err
+					}
+					mu.Unlock()
+				default:
+					verdicts[i] = core.Verdict{Format: anns[i].Format, Reason: err.Error()}
+				}
+			}
+		}()
+	}
+	for i := range anns {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return verdicts, nil
+}
+
+// Close drains the service: it refuses new requests, waits for in-flight
+// ones to finish, and stops the worker pool. Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.jobs)
+	s.workerWG.Wait()
+	return nil
+}
+
+// acquire registers one in-flight request, refusing after Close. The
+// closed check and the waitgroup increment share s.mu so Close cannot
+// slip between them.
+func (s *Service) acquire() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// verify is the single-request path: drain registration, then
+// verifyRegistered.
+func (s *Service) verify(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	if err := s.acquire(); err != nil {
+		s.metrics.requests.Add(1)
+		s.metrics.failures.Add(1)
+		return nil, ErrServiceClosed
+	}
+	defer s.inflight.Done()
+	return s.verifyRegistered(ctx, inventorID, format, gameSpec, advice, proofBody)
+}
+
+// verifyRegistered does cache lookup, then a singleflight execution on the
+// worker pool, then reputation recording. The caller must already hold an
+// in-flight registration (directly or through a batch), which keeps the
+// worker pool alive until the request completes even during a drain.
+func (s *Service) verifyRegistered(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	start := s.metrics.begin()
+	defer s.metrics.end(start)
+
+	key := identity.Digest([]byte(format), gameSpec, advice, proofBody)
+	if v, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.countVerdict(v)
+		return v, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	v, shared, err := s.flight.Do(ctx, key, func() (*core.Verdict, error) {
+		return s.executeOnPool(ctx, key, format, gameSpec, advice, proofBody)
+	})
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return nil, err
+	}
+	if shared {
+		s.metrics.deduplicated.Add(1)
+	}
+	// Copy before handing out: singleflight followers share the leader's
+	// verdict, and Verdict carries a mutable Details map.
+	out := copyVerdict(*v)
+	s.countVerdict(&out)
+	// Reputation is recorded once per fresh verification — cached repeats
+	// and singleflight followers do not re-record, so flooding a verifier
+	// with one announcement cannot inflate (or deflate) an inventor's
+	// standing or grow the audit log.
+	if !shared {
+		s.recordReputation(inventorID, &out)
+	}
+	return &out, nil
+}
+
+// executeOnPool runs one verification on a pool worker. Once the job is
+// enqueued it always runs to completion (singleflight followers depend on
+// the result); the context only guards the wait for a free worker.
+func (s *Service) executeOnPool(ctx context.Context, key, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	var v *core.Verdict
+	var err error
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		v, err = s.execute(format, gameSpec, advice, proofBody)
+		if err == nil {
+			s.cache.Put(key, *v)
+		}
+	}
+	select {
+	case s.jobs <- job:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	<-done
+	return v, err
+}
+
+// execute resolves the procedure and runs it, translating procedure errors
+// (unintelligible inputs) into rejection verdicts exactly like
+// core.VerifierService does.
+func (s *Service) execute(format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	proc, err := s.procs.Lookup(format)
+	if err != nil {
+		return nil, err
+	}
+	v, err := proc.Verify(gameSpec, advice, proofBody)
+	if err != nil {
+		v = &core.Verdict{Format: format, Reason: err.Error()}
+	}
+	return v, nil
+}
+
+// countVerdict updates the accepted/rejected counters for one delivered
+// verdict (fresh, shared, or cached).
+func (s *Service) countVerdict(v *core.Verdict) {
+	if v.Accepted {
+		s.metrics.accepted.Add(1)
+	} else {
+		s.metrics.rejected.Add(1)
+	}
+}
+
+// recordReputation files the verdict against the inventor when a registry
+// is attached: acceptance as agreement, rejection as an evidenced
+// misbehaviour report.
+func (s *Service) recordReputation(inventorID string, v *core.Verdict) {
+	if s.rep == nil || inventorID == "" {
+		return
+	}
+	if v.Accepted {
+		s.rep.ReportAgreement(inventorID, true)
+	} else {
+		s.rep.ReportMisbehaviour(inventorID,
+			fmt.Sprintf("service %s: %s proof rejected: %s", s.id, v.Format, v.Reason))
+	}
+}

@@ -12,16 +12,27 @@ import (
 
 // TCPServer serves a Handler over TCP with a newline-free JSON stream codec
 // (one Message per json.Decoder token). Each accepted connection is served
-// by its own goroutine; Close stops accepting, closes live connections, and
-// waits for the serving goroutines to exit.
+// by its own goroutine; Close stops accepting and drains gracefully: a
+// connection mid-exchange finishes handling and writes its reply before
+// closing, idle connections are closed immediately, and Close waits for
+// the serving goroutines to exit.
 type TCPServer struct {
 	listener net.Listener
 	handler  Handler
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-exchange, so a drain can
+// close idle connections immediately but let a request that is being
+// handled receive its reply first.
+type connState struct {
+	mu             sync.Mutex
+	busy           bool
+	closeRequested bool
 }
 
 // ListenTCP starts a server on addr (e.g. "127.0.0.1:0") and begins
@@ -37,7 +48,7 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 	s := &TCPServer{
 		listener: ln,
 		handler:  h,
-		conns:    make(map[net.Conn]struct{}),
+		conns:    make(map[net.Conn]*connState),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -60,14 +71,15 @@ func (s *TCPServer) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		s.conns[conn] = st
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		go s.serveConn(conn, st)
 	}
 }
 
-func (s *TCPServer) serveConn(conn net.Conn) {
+func (s *TCPServer) serveConn(conn net.Conn, st *connState) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
@@ -83,17 +95,35 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client hung up or sent garbage; drop the connection
 		}
+		st.mu.Lock()
+		if st.closeRequested {
+			// The drain closed this connection as idle while the request
+			// was arriving; the client already observes a closed conn.
+			st.mu.Unlock()
+			return
+		}
+		st.busy = true
+		st.mu.Unlock()
+
 		resp, err := s.handler.Handle(context.Background(), req)
 		if err != nil {
 			resp = ErrorMessage(err)
 		}
-		if err := enc.Encode(resp); err != nil {
+		writeErr := enc.Encode(resp)
+
+		st.mu.Lock()
+		st.busy = false
+		done := st.closeRequested
+		st.mu.Unlock()
+		if writeErr != nil || done {
 			return
 		}
 	}
 }
 
-// Close stops the server and waits for in-flight connections to finish.
+// Close stops the server and drains: connections mid-exchange write their
+// reply first, idle connections close immediately, and Close waits for
+// every serving goroutine to exit.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -102,8 +132,13 @@ func (s *TCPServer) Close() error {
 	}
 	s.closed = true
 	err := s.listener.Close()
-	for conn := range s.conns {
-		_ = conn.Close()
+	for conn, st := range s.conns {
+		st.mu.Lock()
+		st.closeRequested = true
+		if !st.busy {
+			_ = conn.Close() // unblocks the Decode on an idle connection
+		}
+		st.mu.Unlock()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -134,31 +169,71 @@ func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	}, nil
 }
 
-// Call implements Client. The context's deadline is applied to the
-// round trip via the connection deadline.
+// Call implements Client. The context's deadline is applied to the round
+// trip via the connection deadline, and cancellation mid-request unblocks
+// the round trip by expiring the connection deadline immediately. A failed
+// or aborted round trip closes the connection: the stream protocol is
+// strict request/response, so a half-finished exchange cannot be resumed
+// — the next Call would otherwise read the stale reply. Subsequent calls
+// return ErrClosed; callers re-dial.
 func (c *TCPClient) Call(ctx context.Context, req Message) (Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return Message{}, ErrClosed
 	}
+	conn := c.conn
+	// Registered first so it runs last, after the watchdog below has been
+	// joined — otherwise a late watchdog could re-expire the deadline.
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	if deadline, ok := ctx.Deadline(); ok {
-		if err := c.conn.SetDeadline(deadline); err != nil {
+		if err := conn.SetDeadline(deadline); err != nil {
 			return Message{}, fmt.Errorf("transport: setting deadline: %w", err)
 		}
-		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-ctx.Done():
+				_ = conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-exited
+		}()
 	}
 	if err := c.enc.Encode(req); err != nil {
+		c.teardownLocked()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Message{}, fmt.Errorf("transport: sending request: %w", ctxErr)
+		}
 		return Message{}, fmt.Errorf("transport: sending request: %w", err)
 	}
 	var resp Message
 	if err := c.dec.Decode(&resp); err != nil {
+		c.teardownLocked()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Message{}, fmt.Errorf("transport: reading reply: %w", ctxErr)
+		}
 		return Message{}, fmt.Errorf("transport: reading reply: %w", err)
 	}
 	if err := resp.AsError(); err != nil {
 		return Message{}, err
 	}
 	return resp, nil
+}
+
+// teardownLocked closes a desynchronized connection. Callers hold c.mu.
+func (c *TCPClient) teardownLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
 }
 
 // Close implements Client.

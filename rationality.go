@@ -43,6 +43,7 @@ import (
 	"rationality/internal/participation"
 	"rationality/internal/proof"
 	"rationality/internal/reputation"
+	"rationality/internal/service"
 	"rationality/internal/transport"
 )
 
@@ -152,6 +153,40 @@ type (
 	// Client is a transport client (in-process or TCP).
 	Client = transport.Client
 )
+
+// The verification-authority service layer (see internal/service): a
+// concurrent, cached front for the verification procedures.
+type (
+	// VerificationService is a long-running verifier with a bounded worker
+	// pool, a content-addressed verdict cache with singleflight
+	// deduplication, batch verification and operational metrics.
+	VerificationService = service.Service
+	// ServiceConfig configures a VerificationService.
+	ServiceConfig = service.Config
+	// ServiceStats is a point-in-time snapshot of service counters.
+	ServiceStats = service.Stats
+	// BatchVerifyRequest / BatchVerifyResponse are the "verify-batch" wire
+	// payloads.
+	BatchVerifyRequest  = service.BatchVerifyRequest
+	BatchVerifyResponse = service.BatchVerifyResponse
+)
+
+// Service-layer wire message types (alongside the classic "verify" and
+// "formats" which the service also answers).
+const (
+	MsgVerifyBatch  = service.MsgVerifyBatch
+	MsgServiceStats = service.MsgServiceStats
+)
+
+// ErrServiceClosed is returned for requests submitted after a
+// VerificationService has been closed.
+var ErrServiceClosed = service.ErrServiceClosed
+
+// NewVerificationService starts a verification service; release it with
+// Close, which drains in-flight requests gracefully.
+func NewVerificationService(cfg ServiceConfig) (*VerificationService, error) {
+	return service.New(cfg)
+}
 
 // Proof formats understood by the bundled verification procedures.
 const (

@@ -216,3 +216,81 @@ func TestFacadeCongestion(t *testing.T) {
 		t.Errorf("NumNodes = %d", net.NumNodes())
 	}
 }
+
+func TestFacadeVerificationService(t *testing.T) {
+	g := prisonersDilemmaGame(t)
+	ann, err := AnnounceEnumeration("acme", g, MaxNash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewReputationRegistry()
+	svc, err := NewVerificationService(ServiceConfig{ID: "svc", Reputation: registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Warm the cache first so the batch's repeats are deterministic hits.
+	if _, err := svc.VerifyAnnouncement(context.Background(), ann); err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := svc.VerifyBatch(context.Background(), []Announcement{ann, ann, ann})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("rejected: %s", v.Reason)
+		}
+	}
+	st := svc.Stats()
+	if st.Requests != 4 || st.CacheHits != 3 {
+		t.Fatalf("stats = %+v, want 4 requests with 3 cache hits", st)
+	}
+	// Reputation records once per fresh verification, not once per request:
+	// the three cached repeats must not inflate the inventor's standing.
+	if registry.Score("acme").Agreements != 1 {
+		t.Fatalf("acme score = %+v, want exactly 1 agreement", registry.Score("acme"))
+	}
+
+	// The service is a drop-in transport handler for the classic agent flow.
+	inventor, err := NewInventor(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(AgentConfig{
+		Name:      "jane",
+		Inventor:  DialInProc(inventor),
+		Verifiers: map[string]Client{"svc": DialInProc(svc)},
+		Registry:  registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agent.Consult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("consultation via service rejected")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.VerifyBatch(context.Background(), nil); err != ErrServiceClosed {
+		t.Fatalf("post-close err = %v, want ErrServiceClosed", err)
+	}
+}
+
+func prisonersDilemmaGame(t *testing.T) *Game {
+	t.Helper()
+	g, err := NewGame("pd", []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPayoffs(Profile{0, 0}, I(3), I(3))
+	g.SetPayoffs(Profile{0, 1}, I(0), I(5))
+	g.SetPayoffs(Profile{1, 0}, I(5), I(0))
+	g.SetPayoffs(Profile{1, 1}, I(1), I(1))
+	return g
+}
