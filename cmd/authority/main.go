@@ -87,10 +87,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|stats> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
-  authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n]
-  authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>]
-  authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n]
-  authority stats -verifier <addr>
+  authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
+  authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
+  authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
+  authority stats -verifier <addr> [-conns n]
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
   authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
 }
@@ -162,6 +162,8 @@ func runVerifier(args []string) error {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache-size", service.DefaultCacheSize,
 		"verdict-cache entries (negative disables caching)")
+	cacheShards := fs.Int("cache-shards", service.DefaultCacheShards,
+		"verdict-cache stripes (rounded up to a power of two)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,10 +185,11 @@ func runVerifier(args []string) error {
 		return nil
 	}
 	svc, err := service.New(service.Config{
-		ID:         *id,
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		Reputation: reputation.NewRegistry(),
+		ID:          *id,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		Reputation:  reputation.NewRegistry(),
 	})
 	if err != nil {
 		return err
@@ -195,8 +198,9 @@ func runVerifier(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("verifier %q serving %d formats on %s (workers=%d cache=%d)\n",
-		*id, len(svc.Formats()), srv.Addr(), svc.Stats().Workers, *cacheSize)
+	st := svc.Stats()
+	fmt.Printf("verifier %q serving %d formats on %s (workers=%d cache=%d shards=%d)\n",
+		*id, len(svc.Formats()), srv.Addr(), st.Workers, *cacheSize, st.CacheShards)
 	waitForSignal()
 	// Graceful drain: stop accepting, let in-flight verifications finish,
 	// then report the service counters.
@@ -216,9 +220,14 @@ func printStats(st service.Stats) {
 		st.Requests, st.Batches, st.CacheHits, st.CacheMisses, st.Deduplicated)
 	fmt.Printf("accepted=%d rejected=%d failures=%d peakInFlight=%d cacheEntries=%d workers=%d\n",
 		st.Accepted, st.Rejected, st.Failures, st.PeakInFlight, st.CacheEntries, st.Workers)
+	if st.CacheShards > 0 {
+		fmt.Printf("cache: %d shards, per-shard entries %v\n", st.CacheShards, st.ShardEntries)
+	}
 	if st.Latency.Count > 0 {
 		fmt.Printf("latency: n=%d mean=%s min=%s max=%s\n",
 			st.Latency.Count, st.Latency.Mean, st.Latency.Min, st.Latency.Max)
+		fmt.Printf("latency: p50<=%s p95<=%s p99<=%s (log2-bucket estimates)\n",
+			st.Latency.P50, st.Latency.P95, st.Latency.P99)
 	}
 }
 
@@ -229,6 +238,7 @@ func runBatch(args []string) error {
 	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
 	gameName := fs.String("game", "pd", "built-in game: pd, mp, auction, pd-forged")
 	count := fs.Int("count", 10, "announcements per batch")
+	conns := fs.Int("conns", 1, "client connection-pool size")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -241,7 +251,7 @@ func runBatch(args []string) error {
 	for i := range anns {
 		anns[i] = ann
 	}
-	client, err := transport.DialTCP(*verifierAddr, *timeout)
+	client, err := transport.DialTCPPool(*verifierAddr, *timeout, *conns)
 	if err != nil {
 		return err
 	}
@@ -277,11 +287,12 @@ func runBatch(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
+	conns := fs.Int("conns", 1, "client connection-pool size")
 	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	client, err := transport.DialTCP(*verifierAddr, *timeout)
+	client, err := transport.DialTCPPool(*verifierAddr, *timeout, *conns)
 	if err != nil {
 		return err
 	}
@@ -310,6 +321,7 @@ func runAgent(args []string) error {
 	inventorAddr := fs.String("inventor", "127.0.0.1:7100", "inventor address")
 	verifierList := fs.String("verifiers", "", "comma-separated id=addr pairs")
 	name := fs.String("name", "agent", "agent name")
+	conns := fs.Int("conns", 1, "connection-pool size per verifier client")
 	timeout := fs.Duration("timeout", 10*time.Second, "consultation timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -335,7 +347,7 @@ func runAgent(args []string) error {
 		if !ok {
 			return fmt.Errorf("malformed verifier %q; want id=addr", pair)
 		}
-		c, err := transport.DialTCP(addr, *timeout)
+		c, err := transport.DialTCPPool(addr, *timeout, *conns)
 		if err != nil {
 			return fmt.Errorf("dialing verifier %s: %w", id, err)
 		}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // PartyID is the hex encoding of an Ed25519 public key: identities are
@@ -73,15 +74,68 @@ func Verify(id PartyID, message, sig []byte) error {
 // differently; the result is stable across processes and suitable as a cache
 // key or as the subject of a signed evidence record.
 func Digest(parts ...[]byte) string {
-	h := sha256.New()
+	return DigestBytes(parts...).String()
+}
+
+// Hash is a raw 32-byte SHA-256 content address. It is comparable, so it
+// serves directly as a map key; hot paths (the verification service's
+// verdict cache) prefer it over the hex string because it needs no
+// encoding allocation and exposes its leading bytes as a shard selector.
+type Hash [sha256.Size]byte
+
+// digestBufPool recycles the framing buffers DigestBytes assembles its
+// input into. DigestBytes sits on the verification service's cache-hit
+// path, so it avoids the hash.Hash interface entirely: writes through the
+// interface force every part to escape to the heap, whereas assembling
+// into a pooled buffer and calling the concrete sha256.Sum256 keeps the
+// steady state allocation-free at the cost of one extra memcopy of the
+// input.
+var digestBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// DigestBytes returns the SHA-256 content address of the given parts with
+// the same length-prefixed framing as Digest: DigestBytes(p...).String()
+// == Digest(p...) for all inputs. Allocation-free on the steady state.
+func DigestBytes(parts ...[]byte) Hash {
+	need := 0
+	for _, p := range parts {
+		need += 8 + len(p)
+	}
+	bp := digestBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if cap(buf) < need {
+		// One exact-size allocation instead of append-doubling churn for
+		// inputs that outgrow the pooled buffer.
+		buf = make([]byte, 0, need)
+	}
 	var prefix [8]byte
 	for _, p := range parts {
 		binary.BigEndian.PutUint64(prefix[:], uint64(len(p)))
-		h.Write(prefix[:])
-		h.Write(p)
+		buf = append(buf, prefix[:]...)
+		buf = append(buf, p...)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	out := Hash(sha256.Sum256(buf))
+	// Recycle ordinary buffers; let one sized for a huge announcement be
+	// collected instead of pinning its worst-case size in the pool.
+	if cap(buf) <= maxPooledDigestBuf {
+		*bp = buf
+	}
+	digestBufPool.Put(bp) // oversized: the pool keeps its original buffer
+	return out
 }
+
+// maxPooledDigestBuf bounds the framing buffers digestBufPool retains.
+const maxPooledDigestBuf = 64 << 10
+
+// String returns the canonical hex encoding, identical to Digest's output.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Prefix64 returns the hash's first 8 bytes as a big-endian integer.
+// SHA-256 output is uniform, so any subset of these bits indexes a
+// power-of-two shard array evenly.
+func (h Hash) Prefix64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
 
 // Envelope is a signed payload: the binding a reputation report can carry as
 // evidence.

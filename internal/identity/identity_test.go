@@ -146,3 +146,40 @@ func TestDigestStableAndBoundaryAware(t *testing.T) {
 		t.Fatal("Digest ignores trailing empty parts")
 	}
 }
+
+func TestDigestBytesMatchesDigest(t *testing.T) {
+	cases := [][][]byte{
+		{[]byte("format"), []byte("game"), []byte("advice"), []byte("proof")},
+		{[]byte("x")},
+		{nil},
+		{},
+	}
+	for _, parts := range cases {
+		if got, want := DigestBytes(parts...).String(), Digest(parts...); got != want {
+			t.Errorf("DigestBytes(%q).String() = %s, want Digest = %s", parts, got, want)
+		}
+	}
+}
+
+func TestHashPrefix64(t *testing.T) {
+	h := DigestBytes([]byte("shard-me"))
+	var want uint64
+	for _, b := range h[:8] {
+		want = want<<8 | uint64(b)
+	}
+	if got := h.Prefix64(); got != want {
+		t.Fatalf("Prefix64 = %#x, want the big-endian leading 8 bytes %#x", got, want)
+	}
+	// The selector must actually spread: over many distinct digests, every
+	// residue class of a small power-of-two modulus should be populated.
+	const shards = 8
+	var seen [shards]int
+	for i := 0; i < 512; i++ {
+		seen[DigestBytes([]byte{byte(i), byte(i >> 8)}).Prefix64()&(shards-1)]++
+	}
+	for i, n := range seen {
+		if n == 0 {
+			t.Fatalf("shard %d never selected across 512 uniform digests", i)
+		}
+	}
+}

@@ -1,14 +1,24 @@
 package service
 
 import (
-	"sync"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
 
-// metrics aggregates the service's operational counters. Counters are
-// atomics so the hot path never takes a lock; the latency summary is
-// guarded by its own small mutex.
+// latencyBuckets is the size of the fixed log-scale latency histogram:
+// bucket i counts requests whose latency in nanoseconds has floor(log2) ==
+// i, i.e. bucket boundaries double from 1ns up; bucket 39 (~9.2 minutes)
+// and above collapse into the last bucket. Forty buckets cover every
+// latency a request could plausibly have while keeping the histogram a
+// single cache-friendly array of atomics.
+const latencyBuckets = 40
+
+// metrics aggregates the service's operational counters. Everything is
+// atomic — counters, gauges, and the latency histogram — so the hot path
+// performs no mutex acquisitions at all: begin/end are a handful of
+// uncontended atomic adds plus two bounded CAS loops (peak gauge, min/max
+// latency) that almost always exit on their first iteration.
 type metrics struct {
 	requests     atomic.Uint64
 	batches      atomic.Uint64
@@ -21,14 +31,37 @@ type metrics struct {
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 
-	mu       sync.Mutex
-	latCount uint64
-	latTotal time.Duration
-	latMin   time.Duration
-	latMax   time.Duration
+	latCount atomic.Uint64
+	latTotal atomic.Int64 // nanoseconds
+	latMin   atomic.Int64 // nanoseconds; 0 = unset
+	latMax   atomic.Int64 // nanoseconds
+	latHist  [latencyBuckets]atomic.Uint64
 }
 
-// begin records an arriving request and returns its start time.
+// latencyBucket maps an observed latency to its histogram bucket.
+func latencyBucket(ns int64) int {
+	b := bits.Len64(uint64(ns)) - 1 // floor(log2)
+	if b < 0 {
+		return 0
+	}
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperBound is the largest latency bucket i can hold: 2^(i+1)-1 ns.
+// Percentile estimates report this bound, so they err on the conservative
+// (pessimistic) side by at most one bucket width (a factor of two — the
+// resolution a log2 histogram buys).
+func bucketUpperBound(i int) time.Duration {
+	if i >= 62 {
+		return time.Duration(int64(^uint64(0) >> 1))
+	}
+	return time.Duration(int64(1)<<(i+1) - 1)
+}
+
+// begin records an arriving request and returns its start time. Lock-free.
 func (m *metrics) begin() time.Time {
 	m.requests.Add(1)
 	n := m.inFlight.Add(1)
@@ -41,34 +74,53 @@ func (m *metrics) begin() time.Time {
 	return time.Now()
 }
 
-// end records a completed request and its latency.
+// end records a completed request and its latency. Lock-free.
 func (m *metrics) end(start time.Time) {
 	m.inFlight.Add(-1)
-	elapsed := time.Since(start)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.latCount++
-	m.latTotal += elapsed
-	if m.latMin == 0 || elapsed < m.latMin {
-		m.latMin = elapsed
+	ns := time.Since(start).Nanoseconds()
+	if ns < 1 {
+		ns = 1 // clamp: 0 is the min gauge's "unset" sentinel
 	}
-	if elapsed > m.latMax {
-		m.latMax = elapsed
+	m.latCount.Add(1)
+	m.latTotal.Add(ns)
+	m.latHist[latencyBucket(ns)].Add(1)
+	for {
+		cur := m.latMin.Load()
+		if (cur != 0 && ns >= cur) || m.latMin.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := m.latMax.Load()
+		if ns <= cur || m.latMax.CompareAndSwap(cur, ns) {
+			break
+		}
 	}
 }
 
-// LatencySummary describes the observed request latencies.
+// LatencySummary describes the observed request latencies. Percentiles are
+// estimated from a fixed log2-bucket histogram: each reported percentile
+// is the upper bound of the bucket the rank falls into, so estimates are
+// conservative within a factor of two and cost no locking to maintain.
 type LatencySummary struct {
 	Count uint64        `json:"count"`
 	Mean  time.Duration `json:"mean"`
 	Min   time.Duration `json:"min"`
 	Max   time.Duration `json:"max"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+	// Buckets is the raw histogram: Buckets[i] counts requests with
+	// floor(log2(latency_ns)) == i.
+	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the service's counters, suitable
 // for the "service-stats" wire reply and for operator dashboards.
 type Stats struct {
-	// Requests counts single verifications (batch items included).
+	// Requests counts admitted single verifications (batch items
+	// included). Refused requests (after Close) count only as Failures,
+	// so CacheHits + CacheMisses == Requests always holds.
 	Requests uint64 `json:"requests"`
 	// Batches counts VerifyBatch calls.
 	Batches uint64 `json:"batches"`
@@ -88,16 +140,26 @@ type Stats struct {
 	// PeakInFlight is the highest concurrency observed.
 	InFlight     int64 `json:"inFlight"`
 	PeakInFlight int64 `json:"peakInFlight"`
-	// CacheEntries is the current verdict-cache population; Workers the
-	// executor pool size.
-	CacheEntries int `json:"cacheEntries"`
-	Workers      int `json:"workers"`
+	// CacheEntries is the current verdict-cache population; CacheShards
+	// the stripe count and ShardEntries the per-stripe population (nil
+	// when caching is disabled); Workers the executor pool size.
+	CacheEntries int   `json:"cacheEntries"`
+	CacheShards  int   `json:"cacheShards"`
+	ShardEntries []int `json:"shardEntries,omitempty"`
+	Workers      int   `json:"workers"`
 	// Latency summarizes end-to-end request latencies.
 	Latency LatencySummary `json:"latency"`
 }
 
-// snapshot assembles a Stats value from the live counters.
-func (m *metrics) snapshot(cacheEntries, workers int) Stats {
+// snapshot assembles a Stats value from the live counters. Counters are
+// read individually without a global lock, so a snapshot taken mid-traffic
+// may be off by the few requests that completed between reads — the usual
+// monitoring trade-off, and the price of a lock-free hot path.
+func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
+	cacheEntries := 0
+	for _, n := range shardLens {
+		cacheEntries += n
+	}
 	s := Stats{
 		Requests:     m.requests.Load(),
 		Batches:      m.batches.Load(),
@@ -110,13 +172,64 @@ func (m *metrics) snapshot(cacheEntries, workers int) Stats {
 		InFlight:     m.inFlight.Load(),
 		PeakInFlight: m.peakInFlight.Load(),
 		CacheEntries: cacheEntries,
+		CacheShards:  shardCount,
+		ShardEntries: shardLens,
 		Workers:      workers,
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s.Latency = LatencySummary{Count: m.latCount, Min: m.latMin, Max: m.latMax}
-	if m.latCount > 0 {
-		s.Latency.Mean = m.latTotal / time.Duration(m.latCount)
-	}
+	s.Latency = m.latencySummary()
 	return s
+}
+
+// latencySummary snapshots the histogram and derives the percentile
+// estimates from the bucket counts.
+func (m *metrics) latencySummary() LatencySummary {
+	sum := LatencySummary{
+		Count: m.latCount.Load(),
+		Min:   time.Duration(m.latMin.Load()),
+		Max:   time.Duration(m.latMax.Load()),
+	}
+	if sum.Count == 0 {
+		return sum
+	}
+	sum.Mean = time.Duration(m.latTotal.Load() / int64(sum.Count))
+	buckets := make([]uint64, latencyBuckets)
+	var total uint64
+	for i := range m.latHist {
+		buckets[i] = m.latHist[i].Load()
+		total += buckets[i]
+	}
+	sum.Buckets = buckets
+	if total == 0 {
+		return sum
+	}
+	// Percentile rank within the histogram's own total: the histogram and
+	// latCount are updated by separate atomics, so mid-traffic they may
+	// briefly disagree by a request or two.
+	sum.P50 = histPercentile(buckets, total, 50)
+	sum.P95 = histPercentile(buckets, total, 95)
+	sum.P99 = histPercentile(buckets, total, 99)
+	if sum.Max > 0 {
+		// The true max is a tighter bound than the last bucket's ceiling.
+		sum.P50 = min(sum.P50, sum.Max)
+		sum.P95 = min(sum.P95, sum.Max)
+		sum.P99 = min(sum.P99, sum.Max)
+	}
+	return sum
+}
+
+// histPercentile finds the bucket containing the pct-th percentile rank
+// and reports its upper bound.
+func histPercentile(buckets []uint64, total uint64, pct uint64) time.Duration {
+	rank := (total*pct + 99) / 100 // ceil: the rank-th smallest sample
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(len(buckets) - 1)
 }

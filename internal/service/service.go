@@ -5,15 +5,20 @@
 // with the machinery a selling service needs under load:
 //
 //   - a bounded worker pool, so many agents can submit announcements
-//     concurrently without unbounded goroutine growth;
-//   - a content-addressed verdict cache (SHA-256 over format, game, advice
-//     and proof via identity.Digest) with singleflight deduplication, so a
-//     popular announcement is verified exactly once no matter how many
-//     agents ask at the same time;
+//     concurrently without unbounded goroutine growth; batch fan-out runs
+//     on the same pool, so wire-controlled batch sizes never translate
+//     into extra goroutines;
+//   - a sharded, content-addressed verdict cache (SHA-256 over format,
+//     game, advice and proof via identity.DigestBytes) with singleflight
+//     deduplication, so a popular announcement is verified exactly once no
+//     matter how many agents ask at the same time — and a cache hit
+//     touches only its own shard's lock, never a global one;
 //   - a batch API that fans a slice of announcements across the pool and
 //     aggregates the verdicts in order;
-//   - request/hit/miss/dedup counters, an in-flight gauge and latency
-//     summaries, exposed as a Stats snapshot and over the wire;
+//   - lock-free operational metrics: atomic request/hit/miss/dedup
+//     counters, an in-flight gauge and an atomic log-scale latency
+//     histogram with percentile estimates, exposed as a Stats snapshot and
+//     over the wire;
 //   - automatic reputation recording: verdicts on announcements are fed to
 //     a reputation.Registry, so inventors whose proofs fail verification
 //     accumulate auditable misbehaviour reports.
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rationality/internal/core"
 	"rationality/internal/identity"
@@ -56,6 +62,11 @@ type Config struct {
 	// CacheSize bounds the verdict cache in entries. Zero means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// CacheShards stripes the verdict cache so concurrent lookups contend
+	// only when they land on the same stripe. Zero or negative means
+	// DefaultCacheShards; values are rounded up to the next power of two
+	// and capped so every shard holds at least one entry.
+	CacheShards int
 	// Reputation, when non-nil, receives a record for every verdict on an
 	// announcement: acceptance as agreement, rejection as a misbehaviour
 	// report against the inventor.
@@ -73,13 +84,30 @@ type Service struct {
 	rep     *reputation.Registry
 	workers int
 
+	// jobs carries batch-item work; execs carries singleflight leader
+	// executions. They are separate queues consumed by the same workers
+	// so that a blocked singleflight follower can drain execs without
+	// ever re-entering batch-item code: stolen executions run the
+	// procedure directly and cannot nest another steal, which keeps the
+	// follower's stack depth constant no matter how long a
+	// wire-controlled batch is.
 	jobs     chan func()
+	execs    chan func()
 	workerWG sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	inflight sync.WaitGroup
+	// state packs the lifecycle into one word so admission control is a
+	// single CAS instead of a global mutex: bit 63 is the closed flag,
+	// the low bits count in-flight requests. drained is closed when the
+	// last in-flight request of a closed service releases (or by Close
+	// itself when nothing is in flight); shutdown serializes the
+	// pool teardown across concurrent Close calls.
+	state    atomic.Uint64
+	drained  chan struct{}
+	shutdown sync.Once
 }
+
+// stateClosed is the closed flag inside Service.state.
+const stateClosed = uint64(1) << 63
 
 // New starts a service: the worker pool is live when New returns.
 func New(cfg Config) (*Service, error) {
@@ -98,14 +126,20 @@ func New(cfg Config) (*Service, error) {
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
 	}
+	cacheShards := cfg.CacheShards
+	if cacheShards <= 0 {
+		cacheShards = DefaultCacheShards
+	}
 	s := &Service{
 		id:      cfg.ID,
 		procs:   procs,
-		cache:   newVerdictCache(cacheSize),
+		cache:   newVerdictCache(cacheSize, cacheShards),
 		flight:  newFlightGroup(),
 		rep:     cfg.Reputation,
 		workers: workers,
 		jobs:    make(chan func()),
+		execs:   make(chan func()),
+		drained: make(chan struct{}),
 	}
 	s.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -116,8 +150,22 @@ func New(cfg Config) (*Service, error) {
 
 func (s *Service) worker() {
 	defer s.workerWG.Done()
-	for job := range s.jobs {
-		job()
+	jobs, execs := s.jobs, s.execs
+	for jobs != nil || execs != nil {
+		select {
+		case job, ok := <-jobs:
+			if !ok {
+				jobs = nil
+				continue
+			}
+			job()
+		case job, ok := <-execs:
+			if !ok {
+				execs = nil
+				continue
+			}
+			job()
+		}
 	}
 }
 
@@ -132,7 +180,7 @@ func (s *Service) Formats() []string { return s.procs.Formats() }
 
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Service) Stats() Stats {
-	return s.metrics.snapshot(s.cache.Len(), s.workers)
+	return s.metrics.snapshot(s.cache.ShardLens(), len(s.cache.shards), s.workers)
 }
 
 // Verify checks one verification request. Unintelligible-but-parseable
@@ -150,56 +198,65 @@ func (s *Service) VerifyAnnouncement(ctx context.Context, ann core.Announcement)
 	return s.verify(ctx, ann.InventorID, ann.Format, ann.Game, ann.Advice, ann.Proof)
 }
 
-// VerifyBatch fans the announcements across the worker pool and returns
-// one verdict per announcement, in input order. Items whose inputs cannot
-// be verified (e.g. an unknown proof format) appear as rejection verdicts
-// carrying the reason, so the slice always aligns with the input; an
-// infrastructure failure (cancelled context, service shutdown) fails the
-// whole batch with an error instead of masquerading as rejections.
-// Fan-out is bounded by the pool size — batch length is wire-controlled,
-// so it must not translate into unbounded goroutines. A started batch
-// counts as one in-flight request: Close waits for it to finish.
+// VerifyBatch fans the announcements across the shared worker pool and
+// returns one verdict per announcement, in input order. Items whose inputs
+// cannot be verified (e.g. an unknown proof format) appear as rejection
+// verdicts carrying the reason, so the slice always aligns with the input;
+// an infrastructure failure (cancelled context, service shutdown) fails
+// the whole batch with an error instead of masquerading as rejections.
+// Every item is dispatched as one pool job — batch length is
+// wire-controlled, so it must not translate into goroutines — and the
+// submit loop applies natural backpressure: it blocks while all workers
+// are busy. A started batch counts as one in-flight request: Close waits
+// for it to finish.
 func (s *Service) VerifyBatch(ctx context.Context, anns []core.Announcement) ([]core.Verdict, error) {
 	if err := s.acquire(); err != nil {
+		s.metrics.failures.Add(1)
 		return nil, err
 	}
-	defer s.inflight.Done()
+	defer s.release()
 	s.metrics.batches.Add(1)
 	verdicts := make([]core.Verdict, len(anns))
-	fanout := min(len(anns), s.workers)
-	if fanout == 0 {
+	if len(anns) == 0 {
 		return verdicts, nil
 	}
-	var mu sync.Mutex
-	var batchErr error
-	indexes := make(chan int)
+	var (
+		errMu    sync.Mutex
+		batchErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if batchErr == nil {
+			batchErr = err
+		}
+		errMu.Unlock()
+	}
 	var wg sync.WaitGroup
-	wg.Add(fanout)
-	for w := 0; w < fanout; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range indexes {
-				v, err := s.verifyRegistered(ctx, anns[i].InventorID, anns[i].Format,
-					anns[i].Game, anns[i].Advice, anns[i].Proof)
-				switch {
-				case err == nil:
-					verdicts[i] = *v
-				case isContextError(err) || errors.Is(err, ErrServiceClosed):
-					mu.Lock()
-					if batchErr == nil {
-						batchErr = err
-					}
-					mu.Unlock()
-				default:
-					verdicts[i] = core.Verdict{Format: anns[i].Format, Reason: err.Error()}
-				}
-			}
-		}()
-	}
+submit:
 	for i := range anns {
-		indexes <- i
+		ann := &anns[i]
+		out := &verdicts[i]
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			v, err := s.verifyItem(ctx, ann)
+			switch {
+			case err == nil:
+				*out = *v
+			case isContextError(err) || errors.Is(err, ErrServiceClosed):
+				setErr(err)
+			default:
+				*out = core.Verdict{Format: ann.Format, Reason: err.Error()}
+			}
+		}
+		select {
+		case s.jobs <- job:
+		case <-ctx.Done():
+			wg.Done()
+			setErr(ctx.Err())
+			break submit
+		}
 	}
-	close(indexes)
 	wg.Wait()
 	if batchErr != nil {
 		return nil, batchErr
@@ -207,66 +264,116 @@ func (s *Service) VerifyBatch(ctx context.Context, anns []core.Announcement) ([]
 	return verdicts, nil
 }
 
-// Close drains the service: it refuses new requests, waits for in-flight
-// ones to finish, and stops the worker pool. Close is idempotent.
-func (s *Service) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+// verifyItem runs one batch item on the pool worker it was dispatched to.
+// The batch's in-flight registration covers it, so the pool stays alive
+// until the item completes even during a drain.
+func (s *Service) verifyItem(ctx context.Context, ann *core.Announcement) (*core.Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	s.closed = true
-	s.mu.Unlock()
-	s.inflight.Wait()
-	close(s.jobs)
-	s.workerWG.Wait()
+	return s.verifyRegistered(ctx, ann.InventorID, ann.Format, ann.Game, ann.Advice, ann.Proof, true)
+}
+
+// Close drains the service: it refuses new requests, waits for in-flight
+// ones to finish, and stops the worker pool. Close is idempotent, and
+// every Close call — first or concurrent — returns only after the drain
+// and teardown are complete.
+func (s *Service) Close() error {
+	for {
+		n := s.state.Load()
+		if n&stateClosed != 0 {
+			break // another Close already flagged the service
+		}
+		if s.state.CompareAndSwap(n, n|stateClosed) {
+			if n == 0 {
+				close(s.drained) // nothing in flight: drained already
+			}
+			break
+		}
+	}
+	<-s.drained
+	s.shutdown.Do(func() {
+		close(s.jobs)
+		close(s.execs)
+		s.workerWG.Wait()
+	})
 	return nil
 }
 
 // acquire registers one in-flight request, refusing after Close. The
-// closed check and the waitgroup increment share s.mu so Close cannot
-// slip between them.
+// closed check and the count increment are one CAS on the packed state
+// word, so admission costs no mutex and Close cannot slip between them.
 func (s *Service) acquire() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrServiceClosed
+	for {
+		n := s.state.Load()
+		if n&stateClosed != 0 {
+			return ErrServiceClosed
+		}
+		if s.state.CompareAndSwap(n, n+1) {
+			return nil
+		}
 	}
-	s.inflight.Add(1)
-	return nil
+}
+
+// release undoes acquire; the last in-flight request of a closed service
+// completes the drain. (Once the closed bit is set no acquire succeeds,
+// so the count only falls and crosses zero exactly once.)
+func (s *Service) release() {
+	if s.state.Add(^uint64(0)) == stateClosed {
+		close(s.drained)
+	}
 }
 
 // verify is the single-request path: drain registration, then
 // verifyRegistered.
 func (s *Service) verify(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
 	if err := s.acquire(); err != nil {
-		s.metrics.requests.Add(1)
+		// Refusals count only as failures: Requests is single-sourced in
+		// metrics.begin and counts admitted verifications, so the
+		// CacheHits + CacheMisses == Requests invariant stays exact.
 		s.metrics.failures.Add(1)
 		return nil, ErrServiceClosed
 	}
-	defer s.inflight.Done()
-	return s.verifyRegistered(ctx, inventorID, format, gameSpec, advice, proofBody)
+	defer s.release()
+	return s.verifyRegistered(ctx, inventorID, format, gameSpec, advice, proofBody, false)
 }
 
-// verifyRegistered does cache lookup, then a singleflight execution on the
-// worker pool, then reputation recording. The caller must already hold an
-// in-flight registration (directly or through a batch), which keeps the
-// worker pool alive until the request completes even during a drain.
-func (s *Service) verifyRegistered(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+// verifyRegistered does cache lookup, then a singleflight execution, then
+// reputation recording. The caller must already hold an in-flight
+// registration (directly or through a batch), which keeps the worker pool
+// alive until the request completes even during a drain. onPool says the
+// caller is itself a pool worker: execution then happens inline (the pool
+// bound is already held) and any singleflight wait drains the execution
+// queue, so a leader queued behind pool-occupying followers cannot
+// deadlock.
+//
+// A cache hit takes no mutex at all: metrics and admission are atomic,
+// the shard read path is lock-free (sync.Map load plus an atomic recency
+// stamp), and the single verdict copy happens on this goroutine's stack.
+func (s *Service) verifyRegistered(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage, onPool bool) (*core.Verdict, error) {
 	start := s.metrics.begin()
 	defer s.metrics.end(start)
 
-	key := identity.Digest([]byte(format), gameSpec, advice, proofBody)
+	key := identity.DigestBytes([]byte(format), gameSpec, advice, proofBody)
 	if v, ok := s.cache.Get(key); ok {
+		// v is already this caller's private copy, made outside the
+		// shard lock; hand it out directly.
 		s.metrics.cacheHits.Add(1)
 		s.countVerdict(v)
 		return v, nil
 	}
 	s.metrics.cacheMisses.Add(1)
 
+	var steal <-chan func()
+	if onPool {
+		steal = s.execs
+	}
 	v, shared, err := s.flight.Do(ctx, key, func() (*core.Verdict, error) {
+		if onPool {
+			return s.executeInline(key, format, gameSpec, advice, proofBody)
+		}
 		return s.executeOnPool(ctx, key, format, gameSpec, advice, proofBody)
-	})
+	}, steal)
 	if err != nil {
 		s.metrics.failures.Add(1)
 		return nil, err
@@ -288,22 +395,31 @@ func (s *Service) verifyRegistered(ctx context.Context, inventorID, format strin
 	return &out, nil
 }
 
+// executeInline runs one verification on the calling goroutine and caches
+// the verdict. Only pool workers call it directly: the pool's concurrency
+// bound is already held, so dispatching to the pool again would waste a
+// queue round trip and risk deadlock.
+func (s *Service) executeInline(key identity.Hash, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	v, err := s.execute(format, gameSpec, advice, proofBody)
+	if err == nil {
+		s.cache.Put(key, *v)
+	}
+	return v, err
+}
+
 // executeOnPool runs one verification on a pool worker. Once the job is
 // enqueued it always runs to completion (singleflight followers depend on
 // the result); the context only guards the wait for a free worker.
-func (s *Service) executeOnPool(ctx context.Context, key, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+func (s *Service) executeOnPool(ctx context.Context, key identity.Hash, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
 	var v *core.Verdict
 	var err error
 	done := make(chan struct{})
 	job := func() {
 		defer close(done)
-		v, err = s.execute(format, gameSpec, advice, proofBody)
-		if err == nil {
-			s.cache.Put(key, *v)
-		}
+		v, err = s.executeInline(key, format, gameSpec, advice, proofBody)
 	}
 	select {
-	case s.jobs <- job:
+	case s.execs <- job:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

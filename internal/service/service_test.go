@@ -11,6 +11,7 @@ import (
 
 	"rationality/internal/core"
 	"rationality/internal/game"
+	"rationality/internal/identity"
 	"rationality/internal/proof"
 	"rationality/internal/reputation"
 )
@@ -177,21 +178,75 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	c := newVerdictCache(2)
-	c.Put("a", core.Verdict{Format: "a"})
-	c.Put("b", core.Verdict{Format: "b"})
-	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+	// One shard so the LRU order is global and the eviction deterministic.
+	c := newVerdictCache(2, 1)
+	keyA := identity.DigestBytes([]byte("a"))
+	keyB := identity.DigestBytes([]byte("b"))
+	keyC := identity.DigestBytes([]byte("c"))
+	c.Put(keyA, core.Verdict{Format: "a"})
+	c.Put(keyB, core.Verdict{Format: "b"})
+	if _, ok := c.Get(keyA); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.Put("c", core.Verdict{Format: "c"})
-	if _, ok := c.Get("b"); ok {
+	c.Put(keyC, core.Verdict{Format: "c"})
+	if _, ok := c.Get(keyB); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := c.Get(keyA); !ok {
 		t.Fatal("recently used entry a was evicted")
 	}
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheShardingSpreadsAndBounds(t *testing.T) {
+	const capacity, shards = 64, 4
+	c := newVerdictCache(capacity, shards)
+	if got := len(c.shards); got != shards {
+		t.Fatalf("shard count = %d, want %d", got, shards)
+	}
+	// Insert far more distinct keys than capacity: every shard must stay
+	// within its per-shard bound and the total within the cache bound.
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(identity.DigestBytes([]byte(fmt.Sprintf("key-%d", i))), core.Verdict{Accepted: true})
+	}
+	lens := c.ShardLens()
+	if len(lens) != shards {
+		t.Fatalf("ShardLens has %d entries, want %d", len(lens), shards)
+	}
+	total := 0
+	for i, n := range lens {
+		if n > capacity/shards {
+			t.Fatalf("shard %d holds %d entries, per-shard bound is %d", i, n, capacity/shards)
+		}
+		if n == 0 {
+			t.Fatalf("shard %d empty after uniform fill: keys are not spreading", i)
+		}
+		total += n
+	}
+	if total != c.Len() || total > capacity {
+		t.Fatalf("total entries %d (Len %d), capacity %d", total, c.Len(), capacity)
+	}
+}
+
+func TestCacheShardCountRounding(t *testing.T) {
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{1024, 0, 1},   // <1 clamps to one shard
+		{1024, 1, 1},   // already a power of two
+		{1024, 3, 4},   // rounds up
+		{1024, 16, 16}, // stays
+		{2, 16, 2},     // capped so each shard holds >= 1 entry
+		{-1, 16, 0},    // disabled cache has no shards
+	}
+	for _, tc := range cases {
+		c := newVerdictCache(tc.capacity, tc.shards)
+		if got := len(c.shards); got != tc.want {
+			t.Errorf("newVerdictCache(%d, %d): %d shards, want %d",
+				tc.capacity, tc.shards, got, tc.want)
+		}
 	}
 }
 

@@ -6,16 +6,17 @@ import (
 	"sync"
 
 	"rationality/internal/core"
+	"rationality/internal/identity"
 )
 
 // flightGroup deduplicates concurrent verifications of the same content
 // address: the first caller (the leader) runs the procedure, every
 // concurrent duplicate waits for and shares the leader's verdict. A
 // minimal re-implementation of golang.org/x/sync/singleflight, kept local
-// so the module stays dependency-free.
+// so the module stays dependency-free, keyed by the raw digest.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[identity.Hash]*flightCall
 }
 
 type flightCall struct {
@@ -25,7 +26,7 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	return &flightGroup{calls: make(map[identity.Hash]*flightCall)}
 }
 
 // Do runs fn for key, or waits for an in-flight identical call. The second
@@ -34,15 +35,39 @@ func newFlightGroup() *flightGroup {
 // while waiting, and a leader that aborts on its own context does not
 // poison them: a follower with a live context retries and becomes the new
 // leader.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*core.Verdict, error)) (*core.Verdict, bool, error) {
+//
+// steal, when non-nil, is a work queue the follower services while it
+// waits. A caller already running on a worker-pool goroutine must pass the
+// pool's execution queue here: its leader's execution may be queued behind
+// it on that very pool, so a follower that blocked without draining the
+// queue could deadlock the pool (every worker waiting on a leader whose
+// job none of them will ever pop). The queue must carry only leader
+// executions — jobs that never wait on the flight group themselves — so a
+// stolen job cannot nest another steal and the follower's stack stays
+// bounded regardless of load. Callers not on the pool pass nil — receiving
+// from a nil channel blocks forever, turning the steal case into a no-op.
+func (g *flightGroup) Do(ctx context.Context, key identity.Hash, fn func() (*core.Verdict, error), steal <-chan func()) (*core.Verdict, bool, error) {
 	for {
 		g.mu.Lock()
 		if c, ok := g.calls[key]; ok {
 			g.mu.Unlock()
-			select {
-			case <-c.done:
-			case <-ctx.Done():
-				return nil, true, ctx.Err()
+		wait:
+			for {
+				select {
+				case <-c.done:
+					break wait
+				case <-ctx.Done():
+					return nil, true, ctx.Err()
+				case job, ok := <-steal:
+					if !ok {
+						// Pool closed mid-wait (cannot happen before the
+						// drain completes, but stay safe): fall back to a
+						// plain wait.
+						steal = nil
+						continue
+					}
+					job()
+				}
 			}
 			if isContextError(c.err) && ctx.Err() == nil {
 				continue // the leader gave up on its own ctx, not ours

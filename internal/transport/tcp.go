@@ -145,10 +145,30 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-// TCPClient is a Client over a single persistent TCP connection. Calls are
-// serialized: the protocol is strict request/response.
+// TCPClient is a Client over a pool of persistent TCP connections. Each
+// connection speaks the strict request/response stream protocol, so one
+// call owns one connection for its whole round trip; pooling lets up to
+// poolSize calls proceed concurrently instead of serializing on a single
+// connection's mutex. Connections are checked out per call and dialed
+// lazily: a broken connection is discarded and replaced by a fresh dial on
+// a later call, so a transient failure never bricks the client. Each
+// pooled connection keeps its own JSON encoder/decoder for its lifetime —
+// the per-call codec state (and its buffers) is pooled along with the
+// connection rather than re-allocated per request.
 type TCPClient struct {
-	mu   sync.Mutex
+	addr        string
+	dialTimeout time.Duration
+	// slots is the checkout queue, with one element per pool slot: a
+	// ready connection, or nil — a permit to dial lazily.
+	slots chan *poolConn
+
+	mu     sync.Mutex
+	closed bool
+	live   map[*poolConn]struct{}
+}
+
+// poolConn is one pooled connection with its persistent stream codec.
+type poolConn struct {
 	conn net.Conn
 	dec  *json.Decoder
 	enc  *json.Encoder
@@ -156,39 +176,125 @@ type TCPClient struct {
 
 var _ Client = (*TCPClient)(nil)
 
-// DialTCP connects to a TCPServer.
+// DefaultPoolSize is the connection-pool size used by DialTCPPool when the
+// requested size is zero or negative.
+const DefaultPoolSize = 4
+
+// DialTCP connects to a TCPServer with a single-connection pool: calls
+// serialize exactly as the classic client did. Use DialTCPPool to let
+// concurrent calls proceed in parallel.
 func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	return DialTCPPool(addr, timeout, 1)
+}
+
+// DialTCPPool connects to a TCPServer with a pool of up to poolSize
+// connections (zero or negative means DefaultPoolSize). The first
+// connection is dialed eagerly so an unreachable server fails fast; the
+// rest are dialed lazily, on demand, as concurrent calls need them.
+func DialTCPPool(addr string, timeout time.Duration, poolSize int) (*TCPClient, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
 	}
-	return &TCPClient{
+	c := &TCPClient{
+		addr:        addr,
+		dialTimeout: timeout,
+		slots:       make(chan *poolConn, poolSize),
+		live:        make(map[*poolConn]struct{}),
+	}
+	pc, err := c.dial(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	c.slots <- pc
+	for i := 1; i < poolSize; i++ {
+		c.slots <- nil // lazy-dial permits
+	}
+	return c, nil
+}
+
+// dial opens one pooled connection and registers it for Close. The dial
+// is bounded by both the configured timeout and the caller's context, so
+// a lazy dial inside Call cannot outlive the call's deadline.
+func (c *TCPClient) dial(ctx context.Context) (*poolConn, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	pc := &poolConn{
 		conn: conn,
 		dec:  json.NewDecoder(conn),
 		enc:  json.NewEncoder(conn),
-	}, nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	c.live[pc] = struct{}{}
+	c.mu.Unlock()
+	return pc, nil
 }
 
-// Call implements Client. The context's deadline is applied to the round
-// trip via the connection deadline, and cancellation mid-request unblocks
-// the round trip by expiring the connection deadline immediately. A failed
-// or aborted round trip closes the connection: the stream protocol is
-// strict request/response, so a half-finished exchange cannot be resumed
-// — the next Call would otherwise read the stale reply. Subsequent calls
-// return ErrClosed; callers re-dial.
+// discard closes a desynchronized or surplus connection and forgets it.
+func (c *TCPClient) discard(pc *poolConn) {
+	_ = pc.conn.Close()
+	c.mu.Lock()
+	delete(c.live, pc)
+	c.mu.Unlock()
+}
+
+// Call implements Client. It checks a connection out of the pool (dialing
+// lazily when the slot is empty), runs the round trip on it, and returns
+// it. The context's deadline is applied to the round trip via the
+// connection deadline, and cancellation mid-request unblocks the round
+// trip by expiring the connection deadline immediately; waiting for a free
+// pool slot honors the context too. A failed or aborted round trip closes
+// its connection: the stream protocol is strict request/response, so a
+// half-finished exchange cannot be resumed — a later call dials a
+// replacement instead of reading the stale reply. After Close, calls
+// return ErrClosed.
 func (c *TCPClient) Call(ctx context.Context, req Message) (Message, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
 		return Message{}, ErrClosed
 	}
-	conn := c.conn
+	var pc *poolConn
+	select {
+	case pc = <-c.slots:
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+	if pc == nil {
+		var err error
+		if pc, err = c.dial(ctx); err != nil {
+			c.slots <- nil // hand the permit back
+			return Message{}, err
+		}
+	}
+	resp, err, broken := c.roundTrip(ctx, pc, req)
+	if broken {
+		c.discard(pc)
+		c.slots <- nil
+	} else {
+		c.slots <- pc
+	}
+	return resp, err
+}
+
+// roundTrip runs one exchange on a checked-out connection. broken reports
+// that the connection is desynchronized and must not be reused.
+func (c *TCPClient) roundTrip(ctx context.Context, pc *poolConn, req Message) (resp Message, err error, broken bool) {
+	conn := pc.conn
 	// Registered first so it runs last, after the watchdog below has been
 	// joined — otherwise a late watchdog could re-expire the deadline.
 	defer func() { _ = conn.SetDeadline(time.Time{}) }()
 	if deadline, ok := ctx.Deadline(); ok {
 		if err := conn.SetDeadline(deadline); err != nil {
-			return Message{}, fmt.Errorf("transport: setting deadline: %w", err)
+			return Message{}, fmt.Errorf("transport: setting deadline: %w", err), true
 		}
 	}
 	if ctx.Done() != nil {
@@ -207,43 +313,41 @@ func (c *TCPClient) Call(ctx context.Context, req Message) (Message, error) {
 			<-exited
 		}()
 	}
-	if err := c.enc.Encode(req); err != nil {
-		c.teardownLocked()
+	if err := pc.enc.Encode(req); err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Message{}, fmt.Errorf("transport: sending request: %w", ctxErr)
+			return Message{}, fmt.Errorf("transport: sending request: %w", ctxErr), true
 		}
-		return Message{}, fmt.Errorf("transport: sending request: %w", err)
+		return Message{}, fmt.Errorf("transport: sending request: %w", err), true
 	}
-	var resp Message
-	if err := c.dec.Decode(&resp); err != nil {
-		c.teardownLocked()
+	if err := pc.dec.Decode(&resp); err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Message{}, fmt.Errorf("transport: reading reply: %w", ctxErr)
+			return Message{}, fmt.Errorf("transport: reading reply: %w", ctxErr), true
 		}
-		return Message{}, fmt.Errorf("transport: reading reply: %w", err)
+		return Message{}, fmt.Errorf("transport: reading reply: %w", err), true
 	}
 	if err := resp.AsError(); err != nil {
-		return Message{}, err
+		return Message{}, err, false
 	}
-	return resp, nil
+	return resp, nil, false
 }
 
-// teardownLocked closes a desynchronized connection. Callers hold c.mu.
-func (c *TCPClient) teardownLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-	}
-}
-
-// Close implements Client.
+// Close implements Client: it closes every pooled connection, including
+// ones currently checked out by in-flight calls (their round trips fail
+// promptly rather than lingering). Close is idempotent; subsequent calls
+// return ErrClosed.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.closed = true
+	var err error
+	for pc := range c.live {
+		if cerr := pc.conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.live = nil
 	return err
 }

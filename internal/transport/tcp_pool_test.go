@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin down the pooled TCP client: concurrent calls genuinely
+// run in parallel on separate connections, and a broken connection is
+// replaced by a lazy re-dial instead of bricking the client.
+
+func TestTCPPoolConcurrentCalls(t *testing.T) {
+	// The handler is a barrier: no request completes until `clients`
+	// requests are in flight at once. A client that serialized its calls
+	// on one connection could never satisfy it.
+	const clients = 4
+	var arrived atomic.Int32
+	barrier := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, req Message) (Message, error) {
+		if arrived.Add(1) == clients {
+			close(barrier)
+		}
+		select {
+		case <-barrier:
+			return req, nil
+		case <-time.After(5 * time.Second):
+			return Message{}, context.DeadlineExceeded
+		}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialTCPPool(srv.Addr(), time.Second, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := NewMessage("ping", ping{N: i})
+			resp, err := c.Call(ctx, req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var p ping
+			if err := resp.Decode(&p); err != nil || p.N != i {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatalf("pooled concurrent call failed: %v", err)
+		}
+	}
+}
+
+func TestTCPPoolRedialsAfterBrokenConnection(t *testing.T) {
+	// The first request hangs (so the caller cancels mid-request and the
+	// connection is torn down); later requests echo immediately.
+	var calls atomic.Int32
+	release := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, req Message) (Message, error) {
+		if calls.Add(1) == 1 {
+			<-release
+		}
+		return req, nil
+	})
+	srv, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Registered after srv.Close so it runs first: the drain waits for the
+	// gated first request, which must be released before Close can finish.
+	defer close(release)
+
+	c, err := DialTCPPool(srv.Addr(), time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := NewMessage("ping", ping{N: 1})
+	if _, err := c.Call(ctx, req); err == nil {
+		t.Fatal("cancelled mid-request call succeeded")
+	}
+
+	// The pool must recover by dialing a fresh connection lazily.
+	req2, _ := NewMessage("ping", ping{N: 2})
+	resp, err := c.Call(context.Background(), req2)
+	if err != nil {
+		t.Fatalf("call after broken connection: %v", err)
+	}
+	var p ping
+	if err := resp.Decode(&p); err != nil || p.N != 2 {
+		t.Fatalf("redialed echo = %+v err=%v", p, err)
+	}
+}
+
+func TestDialTCPPoolSizeDefaults(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCPPool(srv.Addr(), time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := cap(c.slots); got != DefaultPoolSize {
+		t.Fatalf("pool size = %d, want DefaultPoolSize %d", got, DefaultPoolSize)
+	}
+}

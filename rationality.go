@@ -31,6 +31,7 @@ package rationality
 import (
 	"context"
 	cryptorand "crypto/rand"
+	"time"
 
 	"rationality/internal/bimatrix"
 	"rationality/internal/congestion"
@@ -165,6 +166,9 @@ type (
 	ServiceConfig = service.Config
 	// ServiceStats is a point-in-time snapshot of service counters.
 	ServiceStats = service.Stats
+	// ServiceLatencySummary describes observed request latencies, with
+	// p50/p95/p99 estimates from the service's log2-bucket histogram.
+	ServiceLatencySummary = service.LatencySummary
 	// BatchVerifyRequest / BatchVerifyResponse are the "verify-batch" wire
 	// payloads.
 	BatchVerifyRequest  = service.BatchVerifyRequest
@@ -281,6 +285,30 @@ func NewAgent(cfg AgentConfig) (*Agent, error) { return core.NewAgent(cfg) }
 // DialInProc connects a client to a co-located party (an InventorService or
 // VerifierService) without any networking.
 func DialInProc(h transport.Handler) Client { return transport.DialInProc(h) }
+
+// DialTCP connects a client to a remote party over a single TCP
+// connection; calls serialize on it.
+func DialTCP(addr string, timeout time.Duration) (Client, error) {
+	c, err := transport.DialTCP(addr, timeout)
+	if err != nil {
+		// Return an untyped nil: a nil *TCPClient inside a non-nil Client
+		// interface would defeat callers' nil checks.
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialTCPPool connects a client to a remote party over a pool of up to
+// conns TCP connections (zero means the transport's default), dialed
+// lazily, so concurrent Calls proceed in parallel instead of serializing
+// on one connection.
+func DialTCPPool(addr string, timeout time.Duration, conns int) (Client, error) {
+	c, err := transport.DialTCPPool(addr, timeout, conns)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
 
 // AnnounceEnumeration is the honest inventor's §3 pipeline: find the best
 // equilibrium, prove it, package the announcement.
