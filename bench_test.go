@@ -540,6 +540,59 @@ func BenchmarkServiceCached(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceCachedPersist is BenchmarkServiceCached with the
+// durable verdict store enabled: the acceptance benchmark for ISSUE 3's
+// "persistence never touches the hit path" claim. A cache hit reads the
+// sharded cache and never reaches the store, so ns/op must match the
+// non-persistent cached benchmark within noise.
+func BenchmarkServiceCachedPersist(b *testing.B) {
+	ctx := context.Background()
+	benchParallelProcs(b, func(b *testing.B) (*VerificationService, func(pb *testing.PB)) {
+		svc, err := NewVerificationService(ServiceConfig{ID: "bench", PersistPath: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Register(nopProcedure{})
+		ann := nopAnnouncement(0)
+		if _, err := svc.VerifyAnnouncement(ctx, ann); err != nil {
+			b.Fatal(err)
+		}
+		return svc, func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := svc.VerifyAnnouncement(ctx, ann); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkServiceMissPersist streams fresh content through a persistent
+// service: each miss costs one extra non-blocking channel send (the
+// flusher does the framing and the syscalls off-path), so the gap to
+// BenchmarkServiceMissHeavy bounds the store's verify-path overhead.
+func BenchmarkServiceMissPersist(b *testing.B) {
+	ctx := context.Background()
+	var seq atomic.Uint64
+	benchParallelProcs(b, func(b *testing.B) (*VerificationService, func(pb *testing.PB)) {
+		svc, err := NewVerificationService(ServiceConfig{ID: "bench", CacheSize: 1024, PersistPath: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Register(nopProcedure{})
+		return svc, func(pb *testing.PB) {
+			for pb.Next() {
+				ann := nopAnnouncement(seq.Add(1))
+				if _, err := svc.VerifyAnnouncement(ctx, ann); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkServiceMissHeavy streams fresh content: every request is a
 // cache miss that runs the (no-op) procedure and inserts its verdict.
 func BenchmarkServiceMissHeavy(b *testing.B) {

@@ -21,9 +21,12 @@
 // The verifier serves through internal/service: a bounded worker pool
 // (-workers), a content-addressed verdict cache with singleflight
 // deduplication (-cache-size; negative disables caching), the batch
-// protocol ("verify-batch") and a stats endpoint ("service-stats"). On
-// SIGINT/SIGTERM it drains gracefully — in-flight verifications finish —
-// and prints the final service counters.
+// protocol ("verify-batch") and a stats endpoint ("service-stats"). With
+// -persist it keeps a durable verdict log and warm-starts from it: a
+// restarted verifier serves every previously verified announcement as a
+// cache hit without re-running any procedure (-sync-every tunes the
+// fsync cadence). On SIGINT/SIGTERM it drains gracefully — in-flight
+// verifications finish — and prints the final service counters.
 //
 // Built-in demo games: pd (Prisoner's Dilemma, §3 enumeration proof),
 // mp (Matching Pennies, §4 P1 supports), auction (the §5 participation game
@@ -33,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +53,7 @@ import (
 	"rationality/internal/proof"
 	"rationality/internal/reputation"
 	"rationality/internal/service"
+	"rationality/internal/store"
 	"rationality/internal/transport"
 )
 
@@ -88,6 +93,7 @@ func usage() {
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
+                     [-persist dir] [-sync-every n]
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
   authority stats -verifier <addr> [-conns n]
@@ -163,12 +169,40 @@ func runVerifier(args []string) error {
 	cacheSize := fs.Int("cache-size", service.DefaultCacheSize,
 		"verdict-cache entries (negative disables caching)")
 	cacheShards := fs.Int("cache-shards", service.DefaultCacheShards,
-		"verdict-cache stripes (rounded up to a power of two)")
+		"verdict-cache stripes (must be a power of two)")
+	persist := fs.String("persist", "",
+		"directory for the durable verdict store (empty disables persistence)")
+	syncEvery := fs.Int("sync-every", store.DefaultSyncEvery,
+		"fsync the verdict log every n records (1 = sync every verdict)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateCacheShards(*cacheShards); err != nil {
+		return err
+	}
+	// The cache caps shards at its capacity (every stripe must hold at
+	// least one entry); honoring the "refused, not rounded" contract
+	// means saying so instead of silently running with fewer stripes
+	// than asked. Validate against the capacity the service will really
+	// use: 0 means the default, not "no cache".
+	effCacheSize := *cacheSize
+	if effCacheSize == 0 {
+		effCacheSize = service.DefaultCacheSize
+	}
+	if effCacheSize > 0 && *cacheShards > effCacheSize {
+		return fmt.Errorf("-cache-shards (%d) cannot exceed the cache capacity (%d entries): every stripe needs at least one entry", *cacheShards, effCacheSize)
+	}
+	if err := validateSyncEvery(*syncEvery); err != nil {
+		return err
+	}
 	if *corrupt {
+		if *persist != "" {
+			// The corrupt double serves the legacy direct path with no
+			// service layer behind it; silently ignoring -persist would
+			// leave the operator believing a log exists.
+			return fmt.Errorf("-corrupt does not support -persist: the adversarial double has no verdict store")
+		}
 		// The adversarial test double stays on the direct path: a liar does
 		// not get the benefit of a consistent cache.
 		svc, err := core.NewCorruptVerifierService(*id)
@@ -190,6 +224,8 @@ func runVerifier(args []string) error {
 		CacheSize:   *cacheSize,
 		CacheShards: *cacheShards,
 		Reputation:  reputation.NewRegistry(),
+		PersistPath: *persist,
+		SyncEvery:   *syncEvery,
 	})
 	if err != nil {
 		return err
@@ -201,18 +237,22 @@ func runVerifier(args []string) error {
 	st := svc.Stats()
 	fmt.Printf("verifier %q serving %d formats on %s (workers=%d cache=%d shards=%d)\n",
 		*id, len(svc.Formats()), srv.Addr(), st.Workers, *cacheSize, st.CacheShards)
+	if st.Persistence != nil {
+		fmt.Printf("persistence: %s (replayed %d verdicts, sync every %d, salvaged %d bytes)\n",
+			*persist, st.Persistence.Replayed, *syncEvery, st.Persistence.SalvagedBytes)
+	}
 	waitForSignal()
 	// Graceful drain: stop accepting, let in-flight verifications finish,
 	// then report the service counters.
 	fmt.Println("draining...")
-	if err := srv.Close(); err != nil {
-		return err
-	}
-	if err := svc.Close(); err != nil {
-		return err
-	}
+	// The service must be closed even when the listener teardown fails:
+	// svc.Close is what drains and fsyncs the verdict store. And neither
+	// error may swallow the other or the final counters — they are the
+	// evidence of what was (or wasn't) lost.
+	srvErr := srv.Close()
+	svcErr := svc.Close()
 	printStats(svc.Stats())
-	return nil
+	return errors.Join(srvErr, svcErr)
 }
 
 func printStats(st service.Stats) {
@@ -229,6 +269,36 @@ func printStats(st service.Stats) {
 		fmt.Printf("latency: p50<=%s p95<=%s p99<=%s (log2-bucket estimates)\n",
 			st.Latency.P50, st.Latency.P95, st.Latency.P99)
 	}
+	if p := st.Persistence; p != nil {
+		fmt.Printf("persistence: persisted=%d replayed=%d dropped=%d failed=%d live=%d garbage=%d\n",
+			p.Persisted, p.Replayed, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)
+		fmt.Printf("persistence: compactions=%d compactedRecords=%d salvagedBytes=%d\n",
+			p.Compactions, p.CompactedRecords, p.SalvagedBytes)
+	}
+}
+
+// validateCacheShards rejects shard counts the operator probably fat-
+// fingered instead of silently rounding them: the cache's stripe selector
+// is a power-of-two mask, so any other value would quietly become a
+// different shard count than the one asked for.
+func validateCacheShards(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-cache-shards must be a positive power of two, got %d", n)
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("-cache-shards must be a power of two (the stripe selector is a bit mask), got %d", n)
+	}
+	return nil
+}
+
+// validateSyncEvery rejects sync cadences that cannot mean anything: zero
+// would never sync and negative is nonsense; both almost certainly hide a
+// flag typo the operator should hear about before trusting durability.
+func validateSyncEvery(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-sync-every must be at least 1 (fsync after every n-th record), got %d", n)
+	}
+	return nil
 }
 
 // runBatch submits count copies of a built-in announcement as one

@@ -1,0 +1,124 @@
+package rationality
+
+// The godoc audit (ISSUE 3): the facade is the public surface, so every
+// exported symbol it declares must carry a doc comment, and every internal
+// package must keep a real package comment — the docs are part of the
+// API. CI runs these tests as a dedicated "Docs audit" step; they also run
+// under the ordinary `go test ./...`.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGodocFacadeExports fails when an exported top-level symbol in
+// rationality.go has no doc comment. A grouped declaration may document
+// its members with one comment on the group (the godoc convention for
+// families like the proof-mode constants), but a bare exported symbol
+// with no documentation anywhere is an API regression.
+func TestGodocFacadeExports(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "rationality.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var undocumented []string
+	report := func(name string, pos token.Pos) {
+		undocumented = append(undocumented,
+			name+" ("+fset.Position(pos).String()+")")
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name.IsExported() && d.Doc == nil {
+				report(d.Name.Name, d.Pos())
+			}
+		case *ast.GenDecl:
+			groupDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil && !groupDocumented {
+						report(sp.Name.Name, sp.Pos())
+					}
+				case *ast.ValueSpec:
+					for _, name := range sp.Names {
+						if name.IsExported() && sp.Doc == nil && sp.Comment == nil && !groupDocumented {
+							report(name.Name, name.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("facade exports without doc comments:\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+}
+
+// TestGodocPackageComments fails when any internal package (or the facade
+// itself) lacks a real package comment: one that exists and starts with
+// the canonical "Package <name>" so godoc renders it as the synopsis.
+func TestGodocPackageComments(t *testing.T) {
+	dirs := []string{"."}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+	for _, dir := range dirs {
+		pkgComment, pkgName := packageComment(t, dir)
+		if pkgName == "" {
+			continue // no buildable Go files
+		}
+		switch {
+		case pkgComment == "":
+			t.Errorf("package %s (%s) has no package comment", pkgName, dir)
+		case !strings.HasPrefix(pkgComment, "Package "+pkgName):
+			t.Errorf("package %s (%s): package comment must start with %q, got %q",
+				pkgName, dir, "Package "+pkgName, firstLine(pkgComment))
+		}
+	}
+}
+
+// packageComment parses the non-test Go files of dir and returns the
+// package comment (from whichever file carries one) and the package name.
+func packageComment(t *testing.T, dir string) (comment, pkgName string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		pkgName = f.Name.Name
+		if f.Doc != nil {
+			return strings.TrimSpace(f.Doc.Text()), pkgName
+		}
+	}
+	return "", pkgName
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -43,6 +43,21 @@ type Verdict struct {
 	Details map[string]string `json:"details,omitempty"`
 }
 
+// Clone returns a deep copy of the verdict. Details is a mutable map, so
+// any holder that shares a verdict across goroutines or caches it must
+// copy before handing it out; this is the one place that knows which
+// fields need deep treatment.
+func (v Verdict) Clone() Verdict {
+	if v.Details != nil {
+		details := make(map[string]string, len(v.Details))
+		for k, val := range v.Details {
+			details[k] = val
+		}
+		v.Details = details
+	}
+	return v
+}
+
 // Procedure is one verification procedure v(): it knows how to check one
 // proof format. Implementations must be stateless and safe for concurrent
 // use — the same procedure object serves many requests.

@@ -130,7 +130,7 @@ func (c *verdictCache) Get(key identity.Hash) (*core.Verdict, bool) {
 	}
 	e := v.(*cacheEntry)
 	e.stamp.Store(sh.clock.Add(1))
-	out := copyVerdict(e.verdict)
+	out := e.verdict.Clone()
 	return &out, true
 }
 
@@ -141,7 +141,7 @@ func (c *verdictCache) Put(key identity.Hash, v core.Verdict) {
 	if len(c.shards) == 0 {
 		return
 	}
-	e := &cacheEntry{verdict: copyVerdict(v)}
+	e := &cacheEntry{verdict: v.Clone()}
 	sh := c.shardFor(key)
 	e.stamp.Store(sh.clock.Add(1))
 	sh.mu.Lock()
@@ -177,6 +177,18 @@ func (c *verdictCache) Put(key identity.Hash, v core.Verdict) {
 	sh.size.Add(int64(-evict))
 }
 
+// Contains reports whether a key is currently cached, without touching
+// its recency. Lock-free (one sync.Map load); safe from any goroutine —
+// the verdict store's compaction uses it as the warmth oracle for its
+// retention bound.
+func (c *verdictCache) Contains(key identity.Hash) bool {
+	if len(c.shards) == 0 {
+		return false
+	}
+	_, ok := c.shardFor(key).entries.Load(key)
+	return ok
+}
+
 // Len returns the current number of cached verdicts across all shards.
 func (c *verdictCache) Len() int {
 	n := int64(0)
@@ -199,15 +211,3 @@ func (c *verdictCache) ShardLens() []int {
 	return lens
 }
 
-// copyVerdict deep-copies a verdict so cached state cannot be mutated
-// through a returned pointer (Details is a map).
-func copyVerdict(v core.Verdict) core.Verdict {
-	if v.Details != nil {
-		details := make(map[string]string, len(v.Details))
-		for k, val := range v.Details {
-			details[k] = val
-		}
-		v.Details = details
-	}
-	return v
-}

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"rationality/internal/store"
 )
 
 // latencyBuckets is the size of the fixed log-scale latency histogram:
@@ -149,6 +151,10 @@ type Stats struct {
 	Workers      int   `json:"workers"`
 	// Latency summarizes end-to-end request latencies.
 	Latency LatencySummary `json:"latency"`
+	// Persistence reports the durable verdict store's counters —
+	// persisted/replayed/compacted records, queue drops, salvage — and
+	// is nil when persistence is disabled (no Config.PersistPath).
+	Persistence *store.Stats `json:"persistence,omitempty"`
 }
 
 // snapshot assembles a Stats value from the live counters. Counters are

@@ -21,7 +21,13 @@
 //     over the wire;
 //   - automatic reputation recording: verdicts on announcements are fed to
 //     a reputation.Registry, so inventors whose proofs fail verification
-//     accumulate auditable misbehaviour reports.
+//     accumulate auditable misbehaviour reports;
+//   - optional durability: with Config.PersistPath set, fresh verdicts are
+//     appended asynchronously to a crash-safe segment log (internal/store)
+//     and New warm-starts by replaying the log into the cache, so a
+//     restarted authority serves its history as cache hits without
+//     re-running a single procedure — and the hit path never touches the
+//     store at all.
 //
 // The service implements transport.Handler, understands the classic
 // "verify" and "formats" messages plus the new "verify-batch" and
@@ -41,6 +47,7 @@ import (
 	"rationality/internal/core"
 	"rationality/internal/identity"
 	"rationality/internal/reputation"
+	"rationality/internal/store"
 )
 
 // ErrServiceClosed is returned for requests submitted after Close.
@@ -71,6 +78,19 @@ type Config struct {
 	// announcement: acceptance as agreement, rejection as a misbehaviour
 	// report against the inventor.
 	Reputation *reputation.Registry
+	// PersistPath, when non-empty, names a directory for the durable
+	// verdict store (internal/store): every fresh verdict is appended to
+	// a crash-safe segment log there, and New warm-starts by replaying
+	// the log into the verdict cache before returning — a restarted
+	// service serves its old verdicts as cache hits without re-running
+	// any procedure. Persistence is asynchronous and never touches the
+	// cache-hit path.
+	PersistPath string
+	// SyncEvery is the store's fsync cadence in appended records; zero
+	// or negative means store.DefaultSyncEvery. One syncs every verdict
+	// (maximum durability, one syscall per fresh verdict). Ignored when
+	// PersistPath is empty.
+	SyncEvery int
 }
 
 // Service is a concurrent, cached verification authority. It is safe for
@@ -83,6 +103,17 @@ type Service struct {
 	metrics metrics
 	rep     *reputation.Registry
 	workers int
+
+	// store, when non-nil, is the durable verdict log. Fresh verdicts
+	// are handed to it with one non-blocking channel send right after
+	// they enter the cache; cache hits never touch it.
+	store    *store.Store
+	storeErr error // the store's Close error, surfaced by Service.Close
+	// replayed is how many recovered verdicts actually survived in the
+	// cache at New — the number Stats reports, which can be smaller than
+	// the store's on-disk live set when the cache (or a hash-skewed
+	// shard) is the smaller of the two.
+	replayed uint64
 
 	// jobs carries batch-item work; execs carries singleflight leader
 	// executions. They are separate queues consumed by the same workers
@@ -141,6 +172,54 @@ func New(cfg Config) (*Service, error) {
 		execs:   make(chan func()),
 		drained: make(chan struct{}),
 	}
+	if cfg.PersistPath != "" {
+		if cfg.CacheSize < 0 {
+			// Persistence exists to warm-start the cache; with caching
+			// disabled every replayed verdict would be discarded and
+			// every repeat verification would append a duplicate record
+			// — all cost, no benefit. Refuse the combination.
+			return nil, fmt.Errorf("service: PersistPath requires the verdict cache (CacheSize must not be negative)")
+		}
+		// Warm start: recover the durable log and replay into the cache
+		// before the first worker (and therefore the first listener)
+		// exists, so a restarted authority's first request can already
+		// be a hit. Replay order is oldest-first, which seeds the
+		// cache's recency stamps sensibly; when the log holds more live
+		// verdicts than the cache can, only the newest cacheSize records
+		// are replayed — the rest would just churn through eviction.
+		// MaxLive ties the store's retention to the cache capacity:
+		// records beyond it could never be replayed, so keeping them
+		// would only grow the log, the index and the recovery time.
+		// Retain hands compaction the cache's residency check — a hot
+		// verdict's append stamp never refreshes (hits bypass the
+		// store), so residency, not stamp age, is what marks the
+		// records worth carrying across restarts.
+		vs, records, err := store.Open(cfg.PersistPath, store.Options{
+			SyncEvery: cfg.SyncEvery,
+			MaxLive:   cacheSize,
+			Retain:    s.cache.Contains,
+			// Compact once the live set outgrows the cache by a
+			// quarter: the surplus a warm start may have to trim stays
+			// proportional to the cache, and each compaction re-ranks
+			// stamps by warmth, so the trim drops cold records first.
+			CompactAt: max(1, cacheSize/4),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening verdict store: %w", err)
+		}
+		if len(records) > cacheSize {
+			records = records[len(records)-cacheSize:]
+		}
+		for i := range records {
+			s.cache.Put(records[i].Key, records[i].Verdict)
+		}
+		s.store = vs
+		// Count what survived, not what was offered: capacity splits
+		// per shard, so hash skew near capacity can evict some replayed
+		// entries during the replay itself. Reporting the cache's
+		// actual population keeps "replayed == N implies N hits" true.
+		s.replayed = uint64(s.cache.Len())
+	}
 	s.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker()
@@ -180,7 +259,17 @@ func (s *Service) Formats() []string { return s.procs.Formats() }
 
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Service) Stats() Stats {
-	return s.metrics.snapshot(s.cache.ShardLens(), len(s.cache.shards), s.workers)
+	st := s.metrics.snapshot(s.cache.ShardLens(), len(s.cache.shards), s.workers)
+	if s.store != nil {
+		ps := s.store.Stats()
+		// The store counts what it recovered from disk; the operator
+		// cares about what the warm start handed back. Report the
+		// records that actually entered the cache, so replayed == N
+		// really does imply those N announcements are hits.
+		ps.Replayed = s.replayed
+		st.Persistence = &ps
+	}
+	return st
 }
 
 // Verify checks one verification request. Unintelligible-but-parseable
@@ -296,8 +385,13 @@ func (s *Service) Close() error {
 		close(s.jobs)
 		close(s.execs)
 		s.workerWG.Wait()
+		if s.store != nil {
+			// All workers are gone, so no Append can race this: the
+			// store drains its queue, syncs, and releases its files.
+			s.storeErr = s.store.Close()
+		}
 	})
-	return nil
+	return s.storeErr
 }
 
 // acquire registers one in-flight request, refusing after Close. The
@@ -383,7 +477,7 @@ func (s *Service) verifyRegistered(ctx context.Context, inventorID, format strin
 	}
 	// Copy before handing out: singleflight followers share the leader's
 	// verdict, and Verdict carries a mutable Details map.
-	out := copyVerdict(*v)
+	out := v.Clone()
 	s.countVerdict(&out)
 	// Reputation is recorded once per fresh verification — cached repeats
 	// and singleflight followers do not re-record, so flooding a verifier
@@ -403,6 +497,13 @@ func (s *Service) executeInline(key identity.Hash, format string, gameSpec, advi
 	v, err := s.execute(format, gameSpec, advice, proofBody)
 	if err == nil {
 		s.cache.Put(key, *v)
+		if s.store != nil {
+			// Durability is asynchronous: one non-blocking channel send
+			// hands the fresh verdict to the store's flusher. A full
+			// queue drops the record (restart warmth is best-effort) —
+			// the verification path never waits on a disk.
+			s.store.Append(key, *v)
+		}
 	}
 	return v, err
 }

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+
+	"rationality/internal/identity"
+)
+
+// compact rewrites the live set into a fresh snapshot segment and empties
+// the tail. It runs on the flusher goroutine (never concurrently with a
+// write) and keeps the invariant that at every instant the union of
+// snapshot + tail on disk contains every synced record's newest version:
+//
+//  1. Replay snapshot + tail from disk into the live set (the in-memory
+//     index has only stamps; the verdicts come back off the disk, so
+//     compaction memory is O(live), not O(log)).
+//  2. Write the live records, stamps preserved, into verdicts.snap.tmp;
+//     fsync it.
+//  3. Rename over verdicts.snap (atomic on POSIX) and fsync the
+//     directory, making the snapshot the durable source of truth.
+//  4. Truncate the tail to zero and fsync it.
+//
+// A crash between 3 and 4 leaves tail records that duplicate snapshot
+// records with equal stamps; recovery's newest-stamp-wins replay makes
+// that harmless. A crash before 3 leaves the old snapshot + full tail —
+// exactly the pre-compaction state. Appends queued while compaction runs
+// wait in the bounded channel (or are dropped and counted when it
+// overflows); verification itself never waits.
+func (s *Store) compact() {
+	if s.flushErr != nil {
+		return
+	}
+	// Everything the replay reads back must be on its way to disk first.
+	s.syncTail()
+	if s.flushErr != nil {
+		return
+	}
+	live := make(map[identity.Hash]*Record, len(s.index))
+	absorb := func(r *Record) {
+		if stamp, ok := s.index[r.Key]; !ok || r.Stamp != stamp {
+			return // superseded or unknown: garbage
+		}
+		cp := *r
+		live[r.Key] = &cp
+	}
+	if err := replayFile(filepath.Join(s.dir, snapshotName), absorb, nil); err != nil {
+		s.flushErr = err
+		return
+	}
+	if err := replayFile(filepath.Join(s.dir, tailName), absorb, nil); err != nil {
+		s.flushErr = err
+		return
+	}
+	cold, hot := s.partitionRetained(live)
+	retired := s.retireOldest(live, cold, hot)
+	s.refreshRetained(live, hot)
+	if err := s.writeSnapshot(live); err != nil {
+		s.flushErr = err
+		return
+	}
+	if err := s.tail.Truncate(0); err != nil {
+		s.flushErr = fmt.Errorf("store: truncating tail: %w", err)
+		return
+	}
+	if err := s.tail.Sync(); err != nil {
+		s.flushErr = fmt.Errorf("store: syncing truncated tail: %w", err)
+		return
+	}
+	s.compactions.Add(1)
+	s.compacted.Add(s.garbage.Swap(0) + retired)
+}
+
+// partitionRetained splits the live set into cold records and records
+// the Retain hook vouches for (e.g. cache-resident verdicts), each
+// sorted oldest append stamp first. One scan and one Retain call per
+// record serves both retirement and re-stamping — the hook is a foreign
+// lookup (the service's cache probe) the flusher shouldn't pay twice
+// per compaction.
+func (s *Store) partitionRetained(live map[identity.Hash]*Record) (cold, hot []*Record) {
+	cold = make([]*Record, 0, len(live))
+	for _, r := range live {
+		if s.opts.Retain != nil && s.opts.Retain(r.Key) {
+			hot = append(hot, r)
+		} else {
+			cold = append(cold, r)
+		}
+	}
+	byStamp := func(rs []*Record) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Stamp < rs[j].Stamp })
+	}
+	byStamp(cold)
+	byStamp(hot)
+	return cold, hot
+}
+
+// retireOldest enforces the MaxLive retention bound: when the live set
+// exceeds it, surplus records are removed from both the snapshot-to-be
+// and the in-memory index — retired history, counted with the compacted
+// records. Victim order is oldest append stamp first among the cold
+// records; hot (vouched-for) records go last, so a verdict that was
+// appended long ago and then served from the cache forever — its stamp
+// never refreshes, because cache hits must not touch the store —
+// survives retirement as long as it stays hot. With MaxLive equal to
+// the owner's cache capacity the hot set always fits the bound, so a
+// retained record is in practice never retired.
+func (s *Store) retireOldest(live map[identity.Hash]*Record, cold, hot []*Record) uint64 {
+	if s.opts.MaxLive <= 0 || len(live) <= s.opts.MaxLive {
+		return 0
+	}
+	victims := append(cold[:len(cold):len(cold)], hot...)[:len(live)-s.opts.MaxLive]
+	for _, r := range victims {
+		delete(live, r.Key)
+		delete(s.index, r.Key)
+	}
+	retired := uint64(len(victims))
+	s.live.Add(^(retired - 1)) // atomic subtract; victims is non-empty here
+	return retired
+}
+
+// refreshRetained re-stamps the surviving hot records, in their existing
+// relative order, above every other stamp. A hot record's append stamp
+// is frozen at its first verification, so without this the stamp
+// ordering that recovery and retirement rely on would rank the most
+// valuable records as the most expendable; after each compaction the
+// stamps again mean "least valuable first". The tail may still hold the
+// old-stamp duplicates — newest-wins replay collapses them onto the
+// re-stamped snapshot copy.
+func (s *Store) refreshRetained(live map[identity.Hash]*Record, hot []*Record) {
+	for _, r := range hot {
+		if _, survived := live[r.Key]; !survived {
+			continue // retired above: nothing to re-rank
+		}
+		r.Stamp = s.nextStamp
+		s.nextStamp++
+		s.index[r.Key] = r.Stamp
+	}
+}
+
+// writeSnapshot writes the live set into a temp segment, fsyncs it, and
+// atomically renames it over the snapshot. Writes go through one
+// buffered writer — a large live set must not become one syscall per
+// record on the flusher goroutine, which has appends queueing behind it.
+func (s *Store) writeSnapshot(live map[identity.Hash]*Record) error {
+	tmpPath := filepath.Join(s.dir, snapshotName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	defer tmp.Close() // no-op after the explicit Close below
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	buf := s.buf[:0]
+	for _, r := range live {
+		if buf, err = appendRecord(buf[:0], r); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	s.buf = buf[:0]
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. The error matters: compaction truncates the tail only after
+// this succeeds, because a durable truncation paired with a non-durable
+// rename would lose the whole live set on a crash. Filesystems that
+// genuinely cannot sync directories (EINVAL) are excused — rename
+// durability there is as good as the platform gets.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	return nil
+}

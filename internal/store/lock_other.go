@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// lockDir is a no-op where flock is unavailable: single-process use per
+// store directory becomes an operator responsibility on such platforms.
+func lockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

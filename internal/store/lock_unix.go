@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on the store directory's
+// lock file, so two processes can never append to and compact the same
+// segments — a rolling restart that overlaps the old verifier's drain
+// with the new one's startup fails loudly at Open instead of silently
+// truncating the other process's durable verdicts. The kernel releases
+// a flock when its holder dies, so a kill -9'd owner never wedges the
+// next start (the failure mode an O_EXCL lock file would have).
+func lockDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already in use by another process: %w", dir, err)
+	}
+	return func() { _ = f.Close() }, nil // closing the fd drops the flock
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import "testing"
+
+// TestOpenRefusesSecondProcessStyleOpen: two stores must never share a
+// directory — the second Open fails while the first holds the flock and
+// succeeds once it is released.
+func TestOpenRefusesSecondProcessStyleOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a locked store directory succeeded")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after release: %v", err)
+	}
+	_ = s2.Close()
+}

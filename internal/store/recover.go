@@ -1,0 +1,127 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rationality/internal/identity"
+)
+
+// Segment file names inside the store directory. The snapshot holds the
+// compacted live set (rewritten atomically via rename); the log is the
+// append-only tail that fresh verdicts stream into.
+const (
+	snapshotName = "verdicts.snap"
+	tailName     = "verdicts.log"
+	lockName     = "store.lock"
+)
+
+// replaySegment streams records out of r, calling fn for each valid one,
+// and returns the byte length of the valid prefix. clean is false when the
+// segment ends in a torn or corrupt frame — everything from validBytes on
+// is untrustworthy, because record boundaries cannot be re-found past a
+// bad length field. A non-nil error is a real I/O failure, not corruption.
+func replaySegment(r io.Reader, fn func(*Record)) (validBytes int64, clean bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var rec Record
+	for {
+		n, err := readRecord(br, &rec)
+		switch err {
+		case nil:
+			validBytes += int64(n)
+			fn(&rec)
+		case io.EOF:
+			return validBytes, true, nil
+		case errTorn:
+			return validBytes, false, nil
+		default:
+			return validBytes, false, err
+		}
+	}
+}
+
+// recovery is what Open learned from the segments on disk.
+type recovery struct {
+	live     map[identity.Hash]*Record // latest record per key
+	maxStamp uint64
+	total    uint64 // valid records seen across snapshot + tail
+	salvaged int64  // bytes truncated off a torn tail
+}
+
+// recoverDir replays snapshot + tail from dir, keeping the largest-stamp
+// record per key, and salvages a torn tail by truncating it back to its
+// longest valid prefix so subsequent appends continue from a trusted
+// boundary. A torn snapshot is only read up to its valid prefix (its file
+// is left alone — the next compaction rewrites it wholesale); tail records
+// are newer than any snapshot loss, so replay continues regardless.
+func recoverDir(dir string) (*recovery, error) {
+	rec := &recovery{live: make(map[identity.Hash]*Record)}
+	absorb := func(r *Record) {
+		rec.total++
+		if r.Stamp > rec.maxStamp {
+			rec.maxStamp = r.Stamp
+		}
+		if old, ok := rec.live[r.Key]; ok && old.Stamp > r.Stamp {
+			return // an already-seen record is newer; keep it
+		}
+		cp := *r
+		rec.live[r.Key] = &cp
+	}
+	if err := replayFile(filepath.Join(dir, snapshotName), absorb, nil); err != nil {
+		return nil, err
+	}
+	if err := replayFile(filepath.Join(dir, tailName), absorb, func(valid int64, size int64) error {
+		if valid < size {
+			rec.salvaged = size - valid
+			return os.Truncate(filepath.Join(dir, tailName), valid)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// replayFile replays one segment file if it exists; after the replay,
+// onDone (when non-nil) receives the valid-prefix length and the file
+// size, so the caller can truncate a torn tail.
+func replayFile(path string, fn func(*Record), onDone func(valid, size int64) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		if onDone != nil {
+			return onDone(0, 0)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", filepath.Base(path), err)
+	}
+	valid, _, err := replaySegment(f, fn)
+	if err != nil {
+		return fmt.Errorf("store: replaying %s: %w", filepath.Base(path), err)
+	}
+	if onDone != nil {
+		return onDone(valid, info.Size())
+	}
+	return nil
+}
+
+// liveRecords flattens the recovered live set, ordered by stamp (oldest
+// first), so cache pre-population replays verdicts in write order.
+func (r *recovery) liveRecords() []Record {
+	out := make([]Record, 0, len(r.live))
+	for _, rec := range r.live {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stamp < out[j].Stamp })
+	return out
+}

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rationality/internal/core"
+	"rationality/internal/identity"
+)
+
+// buildTail frames n records into a byte slice exactly as the flusher
+// would write them, returning the bytes and the framed length of each
+// record so tests can corrupt precise offsets.
+func buildTail(t *testing.T, n int) (data []byte, sizes []int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
+		before := len(data)
+		var err error
+		data, err = appendRecord(data, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(data)-before)
+	}
+	return data, sizes
+}
+
+// TestCrashRecoveryTable is the torn-write salvage table: each case
+// corrupts the tail segment a different way, and recovery must come back
+// with exactly the longest valid prefix — never an error, never a record
+// that was not written (a corrupt record must not poison the cache), and
+// always a store that accepts appends afterwards.
+func TestCrashRecoveryTable(t *testing.T) {
+	const n = 6
+	cases := []struct {
+		name string
+		// corrupt mutates the well-formed tail bytes.
+		corrupt func(data []byte, sizes []int) []byte
+		// wantRecords is how many records the longest valid prefix holds.
+		wantRecords int
+		wantSalvage bool
+	}{
+		{
+			name:        "clean file",
+			corrupt:     func(data []byte, _ []int) []byte { return data },
+			wantRecords: n,
+		},
+		{
+			name:        "empty file",
+			corrupt:     func(_ []byte, _ []int) []byte { return nil },
+			wantRecords: 0,
+		},
+		{
+			name: "truncated tail record",
+			corrupt: func(data []byte, sizes []int) []byte {
+				// Cut mid-payload of the final record: the classic torn
+				// write of a crash during an append.
+				return data[:len(data)-sizes[n-1]/2]
+			},
+			wantRecords: n - 1,
+			wantSalvage: true,
+		},
+		{
+			name: "truncated mid-header",
+			corrupt: func(data []byte, sizes []int) []byte {
+				return data[:len(data)-sizes[n-1]+3]
+			},
+			wantRecords: n - 1,
+			wantSalvage: true,
+		},
+		{
+			name: "flipped CRC byte in final record",
+			corrupt: func(data []byte, sizes []int) []byte {
+				data[len(data)-1] ^= 0xff
+				return data
+			},
+			wantRecords: n - 1,
+			wantSalvage: true,
+		},
+		{
+			name: "flipped byte mid-log",
+			corrupt: func(data []byte, sizes []int) []byte {
+				// Corrupt the third record's payload: framing cannot be
+				// trusted past it, so salvage keeps only records 0 and 1
+				// even though later bytes happen to be intact.
+				off := sizes[0] + sizes[1] + sizes[2] - 1
+				data[off] ^= 0xff
+				return data
+			},
+			wantRecords: 2,
+			wantSalvage: true,
+		},
+		{
+			name: "garbage appended after valid records",
+			corrupt: func(data []byte, _ []int) []byte {
+				return append(data, []byte{0xde, 0xad, 0xbe, 0xef, 0x01}...)
+			},
+			wantRecords: n,
+			wantSalvage: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			data, sizes := buildTail(t, n)
+			tailPath := filepath.Join(dir, tailName)
+			if err := os.WriteFile(tailPath, tc.corrupt(data, sizes), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s, recs, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery must salvage, not fail: %v", err)
+			}
+			defer s.Close()
+			if len(recs) != tc.wantRecords {
+				t.Fatalf("recovered %d records, want %d", len(recs), tc.wantRecords)
+			}
+			st := s.Stats()
+			if st.Replayed != uint64(tc.wantRecords) {
+				t.Fatalf("Replayed = %d, want %d", st.Replayed, tc.wantRecords)
+			}
+			if tc.wantSalvage && st.SalvagedBytes == 0 {
+				t.Fatal("salvage expected but SalvagedBytes == 0")
+			}
+			if !tc.wantSalvage && st.SalvagedBytes != 0 {
+				t.Fatalf("SalvagedBytes = %d on an uncorrupted tail", st.SalvagedBytes)
+			}
+			// Never poison the cache: every recovered verdict must be
+			// byte-for-byte one that was actually written, under its key.
+			for _, r := range recs {
+				want := -1
+				for i := 0; i < n; i++ {
+					if r.Key == testKey(i) {
+						want = i
+						break
+					}
+				}
+				if want == -1 {
+					t.Fatalf("recovered a key that was never written: %x", r.Key)
+				}
+				if !reflect.DeepEqual(r.Verdict, testVerdict(want)) {
+					t.Fatalf("verdict %d corrupted in recovery: %+v", want, r.Verdict)
+				}
+			}
+			// The salvaged tail must be a trusted append point: new
+			// records land after the valid prefix and survive a restart.
+			fresh := identity.DigestBytes([]byte("post-salvage"))
+			if !s.Append(fresh, core.Verdict{Accepted: true, Format: "test/v1"}) {
+				t.Fatal("append refused after salvage")
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, recs2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if len(recs2) != tc.wantRecords+1 {
+				t.Fatalf("after salvage+append+restart: %d records, want %d",
+					len(recs2), tc.wantRecords+1)
+			}
+		})
+	}
+}
+
+// TestRecoverTornSnapshot: a corrupt snapshot loses only its own suffix;
+// the tail still replays, and nothing fails.
+func TestRecoverTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snapData, snapSizes := buildTail(t, 3)
+	// Stamp-shift a tail with 2 newer records for different keys.
+	var tail []byte
+	for i := 10; i < 12; i++ {
+		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
+		var err error
+		tail, err = appendRecord(tail, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the snapshot's last record.
+	snapData = snapData[:len(snapData)-snapSizes[2]/2]
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), snapData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tailName), tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(recs) != 4 { // 2 salvaged from the snapshot + 2 from the tail
+		t.Fatalf("recovered %d records, want 4", len(recs))
+	}
+}
+
+// TestStampsResumePastSalvage: the next stamp continues above the highest
+// recovered stamp, so latest-wins ordering holds across a crash.
+func TestStampsResumePastSalvage(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := buildTail(t, 4)
+	if err := os.WriteFile(filepath.Join(dir, tailName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supersede key 0; its stamp must beat the recovered stamp 1.
+	s.Append(testKey(0), testVerdict(8))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Key == testKey(0) && !reflect.DeepEqual(r.Verdict, testVerdict(8)) {
+			t.Fatalf("superseding verdict lost: %+v", r.Verdict)
+		}
+	}
+}

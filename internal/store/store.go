@@ -1,0 +1,392 @@
+// Package store is the durable verdict log behind the verification
+// service's warm start. The paper's verifiers are reputation-bearing
+// authorities whose verdicts are durable facts; this package makes them
+// literally durable: every fresh verdict is appended to a crash-safe,
+// content-addressed segment log, and a restarting service replays the log
+// to pre-populate its verdict cache before it accepts traffic — no proof
+// is ever re-checked just because the process died.
+//
+// The design keeps persistence entirely off the verification hot path:
+//
+//   - Append is one non-blocking send on a bounded channel. It never
+//     takes a lock, performs a syscall, or blocks the verify path; when
+//     the channel is full the record is dropped (and counted) rather
+//     than ever applying backpressure to verification.
+//   - A single flusher goroutine owns the tail file. It drains the
+//     channel, frames records (length prefix + CRC32C, see segment.go),
+//     appends them, and fsyncs every SyncEvery records — plus once more
+//     whenever the queue drains — so durability amortizes the sync cost
+//     across a burst without leaving a quiet service's records unsynced.
+//   - Compaction runs on the same goroutine: once superseded records
+//     (same key re-appended after a cache eviction, or duplicates left
+//     by an earlier crash) exceed CompactAt, the live set is rewritten
+//     into a snapshot segment — built as a temp file, fsynced, then
+//     atomically renamed — and the tail is truncated. Recovery replays
+//     snapshot + tail, newest stamp per key winning.
+//   - Recovery salvages a torn tail: the replay keeps the longest valid
+//     prefix (every record independently CRC-checked) and truncates the
+//     rest, so a crash mid-append costs at most the unsynced suffix,
+//     never the log.
+//
+// The store knows nothing about the service; it persists (key, verdict)
+// pairs keyed by identity.Hash — the same content address the verdict
+// cache uses — and hands them back at Open.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"rationality/internal/core"
+	"rationality/internal/identity"
+)
+
+// Tuning defaults; zero-valued Options fields fall back to these.
+const (
+	// DefaultSyncEvery is how many appended records may accumulate before
+	// the flusher fsyncs the tail. A crash can lose at most this many
+	// acknowledged-but-unsynced verdicts (plus any still queued).
+	DefaultSyncEvery = 64
+	// DefaultQueueSize is the bounded append queue's capacity. When the
+	// flusher falls behind by this many records, further appends are
+	// dropped (and counted) instead of blocking verification.
+	DefaultQueueSize = 1024
+	// DefaultCompactAt is how many superseded (garbage) records may
+	// accumulate before the flusher rewrites the live set into a fresh
+	// snapshot segment and truncates the tail.
+	DefaultCompactAt = 1024
+)
+
+// Options tunes a Store. The zero value is ready to use.
+type Options struct {
+	// SyncEvery is the fsync cadence in records; zero or negative means
+	// DefaultSyncEvery. One means every record is synced before the next
+	// is written (maximum durability, one syscall per verdict). The
+	// flusher additionally syncs whenever its queue drains, so the
+	// cadence only governs sustained bursts, never how long an idle
+	// service leaves records in the page cache.
+	SyncEvery int
+	// QueueSize bounds the append queue; zero or negative means
+	// DefaultQueueSize.
+	QueueSize int
+	// CompactAt is the garbage-record threshold that triggers
+	// compaction; zero or negative means DefaultCompactAt.
+	CompactAt int
+	// MaxLive bounds how many live records the store retains; zero or
+	// negative means unbounded. When set, compaction retires live
+	// records beyond the bound (and compaction also triggers once the
+	// live set outgrows MaxLive by CompactAt), so the index memory,
+	// compaction I/O and recovery time stay proportional to the bound
+	// instead of to the store's whole history. The service sets this to
+	// its cache capacity: records beyond it could never be replayed
+	// anyway. Retirement order is oldest append stamp first among the
+	// records Retain does not vouch for — see Retain.
+	MaxLive int
+	// Retain, when non-nil, is consulted during MaxLive retirement: a
+	// key it returns true for is kept in preference to one it does not.
+	// Append stamps alone are a poor warmth signal — a popular verdict
+	// is appended once and then served from the owner's cache forever,
+	// never refreshing its stamp — so the owner vouches for the keys
+	// that are still hot (the service passes its cache's residency
+	// check, which is a lock-free map load). Called only on the store's
+	// flusher goroutine, during compaction; it must be safe to call
+	// concurrently with the owner's own reads and writes.
+	Retain func(identity.Hash) bool
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Persisted counts records appended to the tail segment since Open.
+	Persisted uint64 `json:"persisted"`
+	// Replayed counts live records recovered from disk at Open. (The
+	// verification service overrides this in its own Stats with the
+	// count that actually entered its cache, which is smaller when the
+	// cache is smaller than the recovered live set.)
+	Replayed uint64 `json:"replayed"`
+	// Dropped counts appends discarded because the queue was full: lost
+	// warmth, never lost correctness.
+	Dropped uint64 `json:"dropped"`
+	// Failed counts records lost to a write failure — an unencodable
+	// verdict or, after the first fatal I/O error (disk full, dead
+	// device), every subsequent record: the store stops writing and
+	// Close returns the error. A non-zero, growing Failed with a quiet
+	// Dropped means the disk is the problem, not the load.
+	Failed uint64 `json:"failed"`
+	// Compactions counts snapshot rewrites since Open; CompactedRecords
+	// the records they eliminated — superseded duplicates plus, under a
+	// MaxLive bound, retired oldest records.
+	Compactions      uint64 `json:"compactions"`
+	CompactedRecords uint64 `json:"compactedRecords"`
+	// LiveRecords is the current number of distinct keys on disk;
+	// GarbageRecords the superseded records awaiting compaction.
+	LiveRecords    uint64 `json:"liveRecords"`
+	GarbageRecords uint64 `json:"garbageRecords"`
+	// SalvagedBytes is how much of a torn tail recovery truncated at
+	// Open (zero after a clean shutdown).
+	SalvagedBytes uint64 `json:"salvagedBytes"`
+}
+
+// Store is a crash-safe, content-addressed verdict log. Append may be
+// called from any goroutine; everything that touches the disk happens on
+// the store's single flusher goroutine. Create it with Open, release it
+// with Close.
+type Store struct {
+	dir    string
+	opts   Options
+	tail   *os.File
+	unlock func() // releases the directory's exclusive flock
+
+	queue chan Record
+	quit  chan struct{} // closed by Close: flusher drains and exits
+	done  chan struct{} // closed by the flusher on exit
+	once  sync.Once
+
+	// Flusher-owned state (no locking: single goroutine).
+	index     map[identity.Hash]uint64 // key -> latest stamp on disk
+	nextStamp uint64
+	sinceSync int
+	buf       []byte
+	flushErr  error // first fatal I/O error; flusher stops appending
+
+	// Counters: written by the flusher (and Open), read by Stats from
+	// any goroutine.
+	persisted   atomic.Uint64
+	replayed    atomic.Uint64
+	dropped     atomic.Uint64
+	failed      atomic.Uint64
+	compactions atomic.Uint64
+	compacted   atomic.Uint64
+	live        atomic.Uint64
+	garbage     atomic.Uint64
+	salvaged    atomic.Uint64
+}
+
+// Open recovers the store at dir (creating it if needed) and returns the
+// recovered live records, oldest first, for cache pre-population. The
+// returned store is ready for Append: its flusher goroutine is running.
+//
+// Recovery replays the snapshot segment then the tail, keeping the
+// newest-stamped record per key. A torn final record — the signature of a
+// crash mid-append — is detected by its CRC and discarded along with
+// everything after it; the tail is truncated back to the longest valid
+// prefix so appends resume from a trusted boundary.
+func Open(dir string, opts Options) (*Store, []Record, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = DefaultQueueSize
+	}
+	if opts.CompactAt <= 0 {
+		opts.CompactAt = DefaultCompactAt
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	// Exclusive ownership before touching a segment: a second process on
+	// the same directory would truncate this one's records at its next
+	// compaction. The flock dies with the process, so a crash never
+	// wedges the next start.
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := recoverDir(dir)
+	if err != nil {
+		unlock()
+		return nil, nil, err
+	}
+	tail, err := os.OpenFile(filepath.Join(dir, tailName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		unlock()
+		return nil, nil, fmt.Errorf("store: opening tail: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		tail:      tail,
+		unlock:    unlock,
+		queue:     make(chan Record, opts.QueueSize),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		index:     make(map[identity.Hash]uint64, len(rec.live)),
+		nextStamp: rec.maxStamp + 1,
+	}
+	for key, r := range rec.live {
+		s.index[key] = r.Stamp
+	}
+	live := uint64(len(rec.live))
+	s.replayed.Store(live)
+	s.live.Store(live)
+	s.garbage.Store(rec.total - live)
+	s.salvaged.Store(uint64(rec.salvaged))
+	records := rec.liveRecords()
+	go s.flusher()
+	return s, records, nil
+}
+
+// Append queues one verdict for persistence and reports whether it was
+// accepted. It never blocks: when the flusher is behind and the queue is
+// full, the record is dropped (counted in Stats.Dropped) — restart warmth
+// is best-effort, verification latency is not. The verdict's Details map
+// is deep-copied here, so the caller may keep mutating its copy.
+//
+// Records queued after Close starts may or may not be persisted; call
+// Append only before Close, as the service's drain ordering guarantees.
+func (s *Store) Append(key identity.Hash, v core.Verdict) bool {
+	select {
+	case <-s.quit:
+		return false // closed: the flusher is draining or gone
+	default:
+	}
+	if len(s.queue) == cap(s.queue) {
+		// Overloaded: drop before paying for the Details copy. The
+		// length read races benignly with the flusher — at worst a
+		// record is dropped just as a slot frees, which the best-effort
+		// contract already allows.
+		s.dropped.Add(1)
+		return false
+	}
+	select {
+	case s.queue <- Record{Key: key, Verdict: v.Clone()}:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Stats returns a point-in-time snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Persisted:        s.persisted.Load(),
+		Replayed:         s.replayed.Load(),
+		Dropped:          s.dropped.Load(),
+		Failed:           s.failed.Load(),
+		Compactions:      s.compactions.Load(),
+		CompactedRecords: s.compacted.Load(),
+		LiveRecords:      s.live.Load(),
+		GarbageRecords:   s.garbage.Load(),
+		SalvagedBytes:    s.salvaged.Load(),
+	}
+}
+
+// Close drains the queue, writes and syncs everything accepted so far,
+// and releases the tail file. Idempotent; returns the first fatal I/O
+// error the flusher hit, if any.
+func (s *Store) Close() error {
+	s.once.Do(func() { close(s.quit) })
+	<-s.done
+	return s.flushErr
+}
+
+// flusher is the store's single writer goroutine: it owns the tail file,
+// the on-disk index, and the compaction machinery.
+func (s *Store) flusher() {
+	defer close(s.done)
+	defer s.unlock()
+	defer s.tail.Close()
+	for {
+		select {
+		case <-s.quit:
+			// Final drain: persist everything accepted before Close.
+			for {
+				select {
+				case r := <-s.queue:
+					s.writeRecord(&r)
+				default:
+					s.syncTail()
+					return
+				}
+			}
+		case r := <-s.queue:
+			s.handleRecord(&r)
+			// Drain the rest of the burst without blocking; handleRecord
+			// keeps the sync cadence honest inside the burst, so one
+			// fsync covers at most SyncEvery records even under a load
+			// that never lets the queue run dry.
+		burst:
+			for {
+				select {
+				case r := <-s.queue:
+					s.handleRecord(&r)
+				default:
+					// Queue drained: sync the leftovers before going
+					// idle. SyncEvery bounds the unsynced window under
+					// load; on a quiet service nothing should sit in
+					// the page cache for hours waiting for record
+					// number SyncEvery to show up.
+					s.syncTail()
+					break burst
+				}
+			}
+		}
+	}
+}
+
+// handleRecord writes one record and then enforces the maintenance
+// cadences. Both checks run after every record — not just when the queue
+// goes idle — so sustained traffic cannot starve the SyncEvery durability
+// contract or defer compaction forever.
+func (s *Store) handleRecord(r *Record) {
+	s.writeRecord(r)
+	if s.sinceSync >= s.opts.SyncEvery {
+		s.syncTail()
+	}
+	if s.garbage.Load() >= uint64(s.opts.CompactAt) ||
+		(s.opts.MaxLive > 0 && s.live.Load() >= uint64(s.opts.MaxLive+s.opts.CompactAt)) {
+		// Compact when superseded records pile up — or, with a MaxLive
+		// bound, when the live set outgrows it by a compaction's worth,
+		// so an all-distinct-keys workload (which creates no garbage)
+		// still gets its history retired on the same amortized cadence.
+		s.compact()
+	}
+}
+
+// writeRecord stamps, frames and appends one record, updating the on-disk
+// index and the live/garbage accounting. After a fatal I/O error the
+// store stops writing — every further record counts as Failed, so the
+// operator-visible signal distinguishes a dead disk from queue overflow —
+// rather than spinning on a device that already refused a write.
+func (s *Store) writeRecord(r *Record) {
+	if s.flushErr != nil {
+		s.failed.Add(1)
+		return
+	}
+	r.Stamp = s.nextStamp
+	s.nextStamp++
+	buf, err := appendRecord(s.buf[:0], r)
+	if err != nil {
+		s.failed.Add(1) // unencodable verdict: skip the record
+		return
+	}
+	s.buf = buf[:0]
+	if _, err := s.tail.Write(buf); err != nil {
+		s.flushErr = fmt.Errorf("store: appending record: %w", err)
+		s.failed.Add(1)
+		return
+	}
+	if _, seen := s.index[r.Key]; seen {
+		s.garbage.Add(1)
+	} else {
+		s.live.Add(1)
+	}
+	s.index[r.Key] = r.Stamp
+	s.persisted.Add(1)
+	s.sinceSync++
+}
+
+// syncTail fsyncs the tail segment if there are unsynced records.
+func (s *Store) syncTail() {
+	if s.sinceSync == 0 || s.flushErr != nil {
+		return
+	}
+	if err := s.tail.Sync(); err != nil {
+		s.flushErr = fmt.Errorf("store: syncing tail: %w", err)
+		return
+	}
+	s.sinceSync = 0
+}

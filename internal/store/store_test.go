@@ -1,0 +1,285 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"rationality/internal/core"
+	"rationality/internal/identity"
+)
+
+func testKey(i int) identity.Hash {
+	return identity.DigestBytes([]byte(strconv.Itoa(i)))
+}
+
+func testVerdict(i int) core.Verdict {
+	return core.Verdict{
+		Accepted: i%2 == 0,
+		Format:   "test/v1",
+		Reason:   fmt.Sprintf("reason-%d", i),
+		Details:  map[string]string{"i": strconv.Itoa(i)},
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires; the flusher
+// is asynchronous, so tests observe its effects eventually.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Store, []Record) {
+	t.Helper()
+	s, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, recs
+}
+
+func TestOpenEmptyDirAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh store recovered %d records, want 0", len(recs))
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if !s.Append(testKey(i), testVerdict(i)) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Persisted != n || st.LiveRecords != n || st.GarbageRecords != 0 {
+		t.Fatalf("stats after close: %+v", st)
+	}
+
+	s2, recs2 := mustOpen(t, dir, Options{})
+	if len(recs2) != n {
+		t.Fatalf("recovered %d records, want %d", len(recs2), n)
+	}
+	if got := s2.Stats().Replayed; got != n {
+		t.Fatalf("Replayed = %d, want %d", got, n)
+	}
+	byKey := make(map[identity.Hash]core.Verdict, n)
+	for _, r := range recs2 {
+		byKey[r.Key] = r.Verdict
+	}
+	for i := 0; i < n; i++ {
+		got, ok := byKey[testKey(i)]
+		if !ok {
+			t.Fatalf("record %d missing after restart", i)
+		}
+		if !reflect.DeepEqual(got, testVerdict(i)) {
+			t.Fatalf("record %d verdict = %+v, want %+v", i, got, testVerdict(i))
+		}
+	}
+	// Records come back oldest-first: stamps strictly increase.
+	for i := 1; i < len(recs2); i++ {
+		if recs2[i].Stamp <= recs2[i-1].Stamp {
+			t.Fatalf("records not in stamp order: %d after %d", recs2[i].Stamp, recs2[i-1].Stamp)
+		}
+	}
+}
+
+func TestLatestWinsAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+	s, _ := mustOpen(t, dir, Options{})
+	s.Append(key, testVerdict(0))
+	s.Append(key, testVerdict(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.LiveRecords != 1 || st.GarbageRecords != 1 {
+		t.Fatalf("stats = %+v, want 1 live / 1 garbage", st)
+	}
+
+	// Second life supersedes the key again; the third must see only the
+	// newest verdict, proving stamps continue across restarts.
+	s2, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0].Verdict, testVerdict(2)) {
+		t.Fatalf("second life recovered %+v, want the i=2 verdict", recs)
+	}
+	s2.Append(key, testVerdict(4))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs3 := mustOpen(t, dir, Options{})
+	if len(recs3) != 1 || !reflect.DeepEqual(recs3[0].Verdict, testVerdict(4)) {
+		t.Fatalf("third life recovered %+v, want the i=4 verdict", recs3)
+	}
+}
+
+func TestCompactionRewritesLiveSet(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{CompactAt: 8, SyncEvery: 1})
+	// Two keys, rewritten over and over: garbage accumulates fast.
+	for i := 0; i < 40; i++ {
+		s.Append(testKey(i%2), testVerdict(i))
+		// Pace the appends so the flusher sees distinct bursts and its
+		// post-burst compaction check actually runs.
+		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
+	}
+	waitFor(t, "compaction", func() bool { return s.Stats().Compactions >= 1 })
+	st := s.Stats()
+	if st.CompactedRecords == 0 {
+		t.Fatalf("compaction eliminated no records: %+v", st)
+	}
+	if st.LiveRecords != 2 {
+		t.Fatalf("LiveRecords = %d, want 2", st.LiveRecords)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot segment missing after compaction: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart recovers exactly the two live verdicts, newest per key.
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records after compaction, want 2", len(recs))
+	}
+	for _, r := range recs {
+		i, _ := strconv.Atoi(r.Verdict.Details["i"])
+		if i < 38 {
+			t.Fatalf("recovered stale verdict i=%d; compaction must keep the newest", i)
+		}
+	}
+}
+
+func TestAppendAfterCloseRefused(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Append(testKey(0), testVerdict(0)) {
+		t.Fatal("Append accepted a record after Close")
+	}
+}
+
+// TestRetainShieldsHotRecordsFromRetirement: MaxLive retirement must
+// prefer records the Retain hook does not vouch for — a hot verdict's
+// append stamp is forever old (cache hits never re-append), so stamp
+// order alone would retire exactly the records worth keeping.
+func TestRetainShieldsHotRecordsFromRetirement(t *testing.T) {
+	dir := t.TempDir()
+	hot := map[identity.Hash]bool{testKey(0): true, testKey(1): true}
+	s, _, err := Open(dir, Options{
+		MaxLive:   4,
+		CompactAt: 4,
+		SyncEvery: 1,
+		Retain:    func(k identity.Hash) bool { return hot[k] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	// Keys 0 and 1 are the oldest appends — and the hot set. The rest is
+	// a stream of newer one-off keys that forces retirement.
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Append(testKey(i), testVerdict(i))
+		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
+	}
+	waitFor(t, "retention compaction", func() bool { return s.Stats().Compactions >= 1 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := mustOpen(t, dir, Options{})
+	got := make(map[identity.Hash]bool, len(recs))
+	for _, r := range recs {
+		got[r.Key] = true
+	}
+	for k := range hot {
+		if !got[k] {
+			t.Fatalf("hot record retired despite Retain; survivors: %d records", len(recs))
+		}
+	}
+}
+
+// TestFailedCountsDeadDisk: records lost to a write failure show up in
+// Failed (not Dropped, whose contract is queue overflow), and Close
+// surfaces the underlying error.
+func TestFailedCountsDeadDisk(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{SyncEvery: 1})
+	// Kill the disk out from under the flusher: the tail handle is
+	// closed, so the next write fails fatally.
+	if err := s.tail.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Append(testKey(0), testVerdict(0)) {
+		t.Fatal("append refused while the store still looks healthy")
+	}
+	waitFor(t, "failure counted", func() bool { return s.Stats().Failed >= 1 })
+	if st := s.Stats(); st.Dropped != 0 {
+		t.Fatalf("write failure miscounted as queue drop: %+v", st)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the flusher's fatal I/O error")
+	}
+}
+
+// TestMaxLiveRetiresOldest: with a retention bound, compaction retires
+// the oldest live records — the store's footprint tracks the bound, not
+// the whole history, and a restart recovers only the newest records.
+func TestMaxLiveRetiresOldest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{MaxLive: 4, CompactAt: 4, SyncEvery: 1})
+	const n = 20 // all-distinct keys: no garbage, only live growth
+	for i := 0; i < n; i++ {
+		s.Append(testKey(i), testVerdict(i))
+		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
+	}
+	waitFor(t, "retention compaction", func() bool { return s.Stats().Compactions >= 1 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.LiveRecords > 4+4 { // bound plus at most one compaction's slack
+		t.Fatalf("LiveRecords = %d, want <= 8 under MaxLive=4/CompactAt=4", st.LiveRecords)
+	}
+	if st.CompactedRecords == 0 {
+		t.Fatalf("no records retired: %+v", st)
+	}
+
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) == 0 || len(recs) > 8 {
+		t.Fatalf("recovered %d records, want a bounded newest suffix", len(recs))
+	}
+	// Whatever survived must be a suffix of the history: nothing older
+	// than the oldest possible survivor given the bound.
+	for _, r := range recs {
+		i, _ := strconv.Atoi(r.Verdict.Details["i"])
+		if i < n-8-4 {
+			t.Fatalf("record i=%d survived retention; too old for MaxLive=4", i)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"rationality/internal/proof"
 	"rationality/internal/reputation"
 	"rationality/internal/service"
+	"rationality/internal/store"
 	"rationality/internal/transport"
 )
 
@@ -160,12 +161,19 @@ type (
 type (
 	// VerificationService is a long-running verifier with a bounded worker
 	// pool, a content-addressed verdict cache with singleflight
-	// deduplication, batch verification and operational metrics.
+	// deduplication, batch verification, operational metrics, and an
+	// optional durable verdict store it warm-starts from after a restart.
 	VerificationService = service.Service
-	// ServiceConfig configures a VerificationService.
+	// ServiceConfig configures a VerificationService; set PersistPath to
+	// enable the durable verdict store and SyncEvery to tune its fsync
+	// cadence.
 	ServiceConfig = service.Config
 	// ServiceStats is a point-in-time snapshot of service counters.
 	ServiceStats = service.Stats
+	// VerdictStoreStats is the durable verdict store's counter snapshot
+	// (persisted/replayed/compacted records, queue drops, crash salvage),
+	// carried in ServiceStats.Persistence when persistence is enabled.
+	VerdictStoreStats = store.Stats
 	// ServiceLatencySummary describes observed request latencies, with
 	// p50/p95/p99 estimates from the service's log2-bucket histogram.
 	ServiceLatencySummary = service.LatencySummary
@@ -185,6 +193,13 @@ const (
 // ErrServiceClosed is returned for requests submitted after a
 // VerificationService has been closed.
 var ErrServiceClosed = service.ErrServiceClosed
+
+// DefaultSyncEvery is the verdict store's default fsync cadence in
+// records, used when ServiceConfig.SyncEvery is zero. A crash can lose
+// the verdicts not yet synced — at most SyncEvery-1 written records plus
+// whatever is still queued with the store's flusher; set SyncEvery to 1
+// to sync every written verdict.
+const DefaultSyncEvery = store.DefaultSyncEvery
 
 // NewVerificationService starts a verification service; release it with
 // Close, which drains in-flight requests gracefully.
