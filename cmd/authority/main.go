@@ -18,6 +18,15 @@
 //	# inspect the verifier's live service counters
 //	authority stats -verifier 127.0.0.1:7101
 //
+//	# fan one announcement out to a whole panel and majority-vote the
+//	# verdicts (the paper's multi-verifier quorum), with a dissent report
+//	authority quorum -game pd -verifiers a=127.0.0.1:7101,b=127.0.0.1:7102,c=127.0.0.1:7103
+//
+//	# replicate verdict history between verifiers: each pulls the records
+//	# it is missing from its peers on a fixed cadence (anti-entropy)
+//	authority verifier -id a -listen 127.0.0.1:7101 -persist ./a \
+//	    -peers 127.0.0.1:7102,127.0.0.1:7103 -sync-interval 30s
+//
 // The verifier serves through internal/service: a bounded worker pool
 // (-workers), a content-addressed verdict cache with singleflight
 // deduplication (-cache-size; negative disables caching), the batch
@@ -51,6 +60,7 @@ import (
 	"rationality/internal/numeric"
 	"rationality/internal/participation"
 	"rationality/internal/proof"
+	"rationality/internal/quorum"
 	"rationality/internal/reputation"
 	"rationality/internal/service"
 	"rationality/internal/store"
@@ -72,6 +82,8 @@ func main() {
 		err = runAgent(os.Args[2:])
 	case "batch":
 		err = runBatch(os.Args[2:])
+	case "quorum":
+		err = runQuorum(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
 	case "p2-prover":
@@ -89,13 +101,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|stats> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
-                     [-persist dir] [-sync-every n]
+                     [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
+  authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
+                   [-call-timeout d] [-threshold x] [-conns n]
   authority stats -verifier <addr> [-conns n]
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
   authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
@@ -174,9 +188,29 @@ func runVerifier(args []string) error {
 		"directory for the durable verdict store (empty disables persistence)")
 	syncEvery := fs.Int("sync-every", store.DefaultSyncEvery,
 		"fsync the verdict log every n records (1 = sync every verdict)")
+	peers := fs.String("peers", "",
+		"comma-separated peer verifier addresses to pull missing verdict history from (requires -persist)")
+	syncInterval := fs.Duration("sync-interval", 30*time.Second,
+		"anti-entropy pull cadence against -peers")
+	syncTimeout := fs.Duration("sync-timeout", time.Minute,
+		"bound on one anti-entropy dial+exchange (independent of the cadence, so a short -sync-interval cannot make a large catch-up delta time out forever)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	peerAddrs := splitNonEmpty(*peers)
+	if len(peerAddrs) > 0 {
+		if *persist == "" {
+			// Anti-entropy replicates the durable log; without one there is
+			// nothing to offer a peer and nowhere to keep what it sends.
+			return fmt.Errorf("-peers requires -persist: anti-entropy replicates the durable verdict log")
+		}
+		if *syncInterval <= 0 {
+			return fmt.Errorf("-sync-interval must be positive, got %s", *syncInterval)
+		}
+		if *syncTimeout <= 0 {
+			return fmt.Errorf("-sync-timeout must be positive, got %s", *syncTimeout)
+		}
 	}
 	if err := validateCacheShards(*cacheShards); err != nil {
 		return err
@@ -197,6 +231,12 @@ func runVerifier(args []string) error {
 		return err
 	}
 	if *corrupt {
+		if len(peerAddrs) > 0 {
+			// A liar with a replicated log would poison honest peers'
+			// caches on top of lying on the wire; the test double stays
+			// isolated.
+			return fmt.Errorf("-corrupt does not support -peers: the adversarial double has no verdict store to replicate")
+		}
 		if *persist != "" {
 			// The corrupt double serves the legacy direct path with no
 			// service layer behind it; silently ignoring -persist would
@@ -241,10 +281,21 @@ func runVerifier(args []string) error {
 		fmt.Printf("persistence: %s (replayed %d verdicts, sync every %d, salvaged %d bytes)\n",
 			*persist, st.Persistence.Replayed, *syncEvery, st.Persistence.SalvagedBytes)
 	}
+	var stopSync func()
+	if len(peerAddrs) > 0 {
+		fmt.Printf("anti-entropy: pulling from %d peers every %s\n", len(peerAddrs), *syncInterval)
+		stopSync = startAntiEntropy(svc, peerAddrs, *syncInterval, *syncTimeout)
+	}
 	waitForSignal()
 	// Graceful drain: stop accepting, let in-flight verifications finish,
 	// then report the service counters.
 	fmt.Println("draining...")
+	if stopSync != nil {
+		// The pull loop must stop before the service drains: an ingest
+		// racing the store teardown would just fail with ErrServiceClosed,
+		// but the shutdown log should not end on a spurious error line.
+		stopSync()
+	}
 	// The service must be closed even when the listener teardown fails:
 	// svc.Close is what drains and fsyncs the verdict store. And neither
 	// error may swallow the other or the final counters — they are the
@@ -255,9 +306,232 @@ func runVerifier(args []string) error {
 	return errors.Join(srvErr, svcErr)
 }
 
+// dialedVerifier is one entry of a parsed-and-dialed "-verifiers" list.
+type dialedVerifier struct {
+	id     string
+	client transport.Client
+}
+
+// dialVerifiers parses a comma-separated id=addr list and dials each
+// address with a pooled TCP client. A malformed pair is always an error;
+// what a failed dial means depends on the caller: with skipUnreachable
+// the member is reported on stderr and omitted — the quorum treats it
+// exactly like a member that stops answering mid-panel (an abstainer) —
+// otherwise the first failure aborts. The caller owns closing the
+// returned clients, including on error.
+func dialVerifiers(list string, timeout time.Duration, conns int, skipUnreachable bool) ([]dialedVerifier, error) {
+	var out []dialedVerifier
+	for _, pair := range strings.Split(list, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return out, fmt.Errorf("malformed verifier %q; want id=addr", pair)
+		}
+		c, err := transport.DialTCPPool(addr, timeout, conns)
+		if err != nil {
+			if skipUnreachable {
+				fmt.Fprintf(os.Stderr, "quorum: verifier %s unreachable, treating as abstained: %v\n", id, err)
+				continue
+			}
+			return out, fmt.Errorf("dialing verifier %s: %w", id, err)
+		}
+		out = append(out, dialedVerifier{id: id, client: c})
+	}
+	return out, nil
+}
+
+// splitNonEmpty splits a comma-separated flag value, trimming whitespace
+// and dropping empty elements, so "-peers a, b," means [a b].
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// startAntiEntropy launches the verifier's pull loop: one round
+// immediately (a restarted verifier catches up before its cadence ticks),
+// then one round per interval, each round pulling the missing verdict
+// records from every peer. Each dial+exchange is bounded by timeout, not
+// by the cadence — a verifier catching up on a long outage must be able
+// to finish one big delta even on a sub-second interval. The returned
+// stop function halts the loop and closes the peer clients; it is safe
+// to call exactly once.
+func startAntiEntropy(svc *service.Service, peers []string, interval, timeout time.Duration) (stop func()) {
+	// loopCtx dies with the stop call, so an exchange in flight when the
+	// verifier shuts down is cancelled promptly instead of holding the
+	// drain hostage for up to -sync-timeout per unresponsive peer.
+	loopCtx, cancelLoop := context.WithCancel(context.Background())
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		clients := make(map[string]transport.Client, len(peers))
+		defer func() {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+		}()
+		pullAll := func() {
+			for _, addr := range peers {
+				if loopCtx.Err() != nil {
+					return // shutting down: don't start the next peer
+				}
+				c, ok := clients[addr]
+				if !ok {
+					// Dial lazily and keep the client: the pool inside it
+					// re-dials a broken connection on the next round, so a
+					// peer that was down at startup joins when it comes up.
+					var err error
+					if c, err = transport.DialTCPPool(addr, timeout, 1); err != nil {
+						fmt.Printf("anti-entropy: %s unreachable: %v\n", addr, err)
+						continue
+					}
+					clients[addr] = c
+				}
+				ctx, cancel := context.WithTimeout(loopCtx, timeout)
+				n, err := quorum.Pull(ctx, svc, c)
+				cancel()
+				switch {
+				case loopCtx.Err() != nil:
+					return // cancelled mid-exchange: not a peer failure
+				case err != nil:
+					fmt.Printf("anti-entropy: pull from %s: %v\n", addr, err)
+				case n > 0:
+					fmt.Printf("anti-entropy: pulled %d records from %s\n", n, addr)
+				}
+			}
+		}
+		pullAll()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-loopCtx.Done():
+				return
+			case <-ticker.C:
+				pullAll()
+			}
+		}
+	}()
+	return func() {
+		cancelLoop()
+		<-exited
+	}
+}
+
+// runQuorum fans one announcement out to a panel of verifiers and
+// majority-votes the verdicts — the multi-process face of
+// internal/quorum. The announcement comes from a live inventor
+// (-inventor) or is built locally (-game).
+func runQuorum(args []string) error {
+	fs := flag.NewFlagSet("quorum", flag.ExitOnError)
+	inventorAddr := fs.String("inventor", "", "inventor address (empty: build -game locally)")
+	gameName := fs.String("game", "pd", "built-in game announced locally when -inventor is empty")
+	verifierList := fs.String("verifiers", "", "comma-separated id=addr pairs forming the panel")
+	conns := fs.Int("conns", 1, "connection-pool size per verifier client")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall consultation timeout")
+	callTimeout := fs.Duration("call-timeout", 10*time.Second, "per-verifier timeout (a slow member abstains)")
+	threshold := fs.Float64("threshold", 0, "minimum reputation for a member to be consulted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *verifierList == "" {
+		return fmt.Errorf("quorum needs -verifiers id=addr[,id=addr...]")
+	}
+
+	var ann core.Announcement
+	if *inventorAddr != "" {
+		inv, err := transport.DialTCP(*inventorAddr, *timeout)
+		if err != nil {
+			return err
+		}
+		defer inv.Close()
+		req, err := transport.NewMessage(core.MsgAnnounce, struct{}{})
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		resp, err := inv.Call(ctx, req)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("consulting the inventor: %w", err)
+		}
+		if err := resp.Decode(&ann); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if ann, err = buildAnnouncement(*gameName, ""); err != nil {
+			return err
+		}
+	}
+
+	// A panel member that is down at dial time abstains — exactly like
+	// one that stops answering mid-run — instead of scuttling the whole
+	// decision: fault tolerance is the point of consulting a quorum.
+	dialed, err := dialVerifiers(*verifierList, *callTimeout, *conns, true)
+	defer func() {
+		for _, d := range dialed {
+			_ = d.client.Close()
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	if len(dialed) == 0 {
+		return fmt.Errorf("no panel member reachable")
+	}
+	members := make([]quorum.Member, 0, len(dialed))
+	for _, d := range dialed {
+		members = append(members, quorum.Member{ID: d.id, Client: d.client})
+	}
+
+	registry := reputation.NewRegistry()
+	q, err := quorum.New(quorum.Config{
+		Members:     members,
+		Registry:    registry,
+		CallTimeout: *callTimeout,
+		Threshold:   *threshold,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := q.VerifyAnnouncement(ctx, ann)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("quorum verdict on %q (format %s): accepted=%v\n", ann.InventorID, ann.Format, res.Accepted)
+	fmt.Printf("votes=%d dissents=%d abstained=%d\n", len(res.Votes), res.Dissents, len(res.Abstained))
+	for _, v := range res.Votes {
+		status := "accepted"
+		if !v.Verdict.Accepted {
+			status = "rejected: " + v.Verdict.Reason
+		}
+		stance := "agreed"
+		if v.Dissented {
+			stance = "DISSENTED"
+		}
+		fmt.Printf("  %-14s %-9s reputation=%.3f %s\n", v.VerifierID, stance, v.Reputation, status)
+	}
+	for _, id := range res.Abstained {
+		fmt.Printf("  %-14s abstained (no reputation change)\n", id)
+	}
+	if !res.Accepted {
+		fmt.Printf("inventor %q reported; reputation now %.3f\n",
+			ann.InventorID, registry.Reputation(ann.InventorID))
+	}
+	return nil
+}
+
 func printStats(st service.Stats) {
-	fmt.Printf("requests=%d batches=%d hits=%d misses=%d deduped=%d\n",
-		st.Requests, st.Batches, st.CacheHits, st.CacheMisses, st.Deduplicated)
+	fmt.Printf("requests=%d batches=%d hits=%d misses=%d deduped=%d ingested=%d deltasServed=%d\n",
+		st.Requests, st.Batches, st.CacheHits, st.CacheMisses, st.Deduplicated,
+		st.Ingested, st.DeltasServed)
 	fmt.Printf("accepted=%d rejected=%d failures=%d peakInFlight=%d cacheEntries=%d workers=%d\n",
 		st.Accepted, st.Rejected, st.Failures, st.PeakInFlight, st.CacheEntries, st.Workers)
 	if st.CacheShards > 0 {
@@ -270,8 +544,8 @@ func printStats(st service.Stats) {
 			st.Latency.P50, st.Latency.P95, st.Latency.P99)
 	}
 	if p := st.Persistence; p != nil {
-		fmt.Printf("persistence: persisted=%d replayed=%d dropped=%d failed=%d live=%d garbage=%d\n",
-			p.Persisted, p.Replayed, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)
+		fmt.Printf("persistence: persisted=%d replayed=%d ingested=%d dropped=%d failed=%d live=%d garbage=%d\n",
+			p.Persisted, p.Replayed, p.Ingested, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)
 		fmt.Printf("persistence: compactions=%d compactedRecords=%d salvagedBytes=%d\n",
 			p.Compactions, p.CompactedRecords, p.SalvagedBytes)
 	}
@@ -406,22 +680,18 @@ func runAgent(args []string) error {
 	}
 	defer inventorClient.Close()
 
-	verifiers := make(map[string]transport.Client)
+	dialed, err := dialVerifiers(*verifierList, *timeout, *conns, false)
 	defer func() {
-		for _, c := range verifiers {
-			_ = c.Close()
+		for _, d := range dialed {
+			_ = d.client.Close()
 		}
 	}()
-	for _, pair := range strings.Split(*verifierList, ",") {
-		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return fmt.Errorf("malformed verifier %q; want id=addr", pair)
-		}
-		c, err := transport.DialTCPPool(addr, *timeout, *conns)
-		if err != nil {
-			return fmt.Errorf("dialing verifier %s: %w", id, err)
-		}
-		verifiers[id] = c
+	if err != nil {
+		return err
+	}
+	verifiers := make(map[string]transport.Client, len(dialed))
+	for _, d := range dialed {
+		verifiers[d.id] = d.client
 	}
 
 	registry := reputation.NewRegistry()

@@ -1,0 +1,55 @@
+package quorum
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rationality/internal/core"
+	"rationality/internal/reputation"
+	"rationality/internal/service"
+	"rationality/internal/transport"
+)
+
+// BenchmarkQuorumVerify is the fan-out baseline: one request dispatched
+// to three in-process verification services concurrently, votes weighted
+// and recorded. After the first iteration every member answers from its
+// verdict cache, so the number isolates the quorum machinery — fan-out
+// goroutines, collection, weighted vote, reputation recording — from
+// procedure cost.
+func BenchmarkQuorumVerify(b *testing.B) {
+	for _, members := range []int{3, 5} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			panel := make([]Member, members)
+			for i := range panel {
+				svc, err := service.New(service.Config{ID: fmt.Sprintf("v%d", i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				panel[i] = Member{ID: fmt.Sprintf("v%d", i), Client: transport.DialInProc(svc)}
+			}
+			q, err := New(Config{Members: panel, Registry: reputation.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ann := pdAnnouncement(b)
+			ctx := context.Background()
+			req := core.VerifyRequest{Format: ann.Format, Game: ann.Game, Advice: ann.Advice, Proof: ann.Proof}
+			if _, err := q.Verify(ctx, req); err != nil {
+				b.Fatal(err) // warm every member's cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := q.Verify(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Accepted {
+					b.Fatal("quorum rejected the honest benchmark proof")
+				}
+			}
+		})
+	}
+}

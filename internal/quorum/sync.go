@@ -1,0 +1,51 @@
+package quorum
+
+import (
+	"context"
+	"fmt"
+
+	"rationality/internal/service"
+	"rationality/internal/store"
+	"rationality/internal/transport"
+)
+
+// Pull performs one anti-entropy round against a single peer: it offers
+// the local service's verdict-log manifest ("sync-offer"), receives the
+// framed records the peer holds and the local log lacks ("sync-delta"),
+// verifies each record's CRC32C frame, and ingests the survivors —
+// newest stamp per key winning — into the local log and cache. It
+// returns how many records were applied.
+//
+// Pull is one direction of the exchange by design: each verifier pulls
+// what it is missing on its own cadence (cmd/authority's -peers loop), so
+// after every pair has pulled from every other, the quorum's logs agree.
+// A failed peer costs the round an error, never local state.
+func Pull(ctx context.Context, svc *service.Service, peer transport.Client) (int, error) {
+	offer, err := svc.SyncOffer()
+	if err != nil {
+		return 0, err
+	}
+	req, err := transport.NewMessage(service.MsgSyncOffer, offer)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := peer.Call(ctx, req)
+	if err != nil {
+		return 0, fmt.Errorf("quorum: sync-offer exchange: %w", err)
+	}
+	if resp.Type != service.MsgSyncDelta {
+		return 0, fmt.Errorf("quorum: peer answered sync-offer with %q, want %q", resp.Type, service.MsgSyncDelta)
+	}
+	var delta service.SyncDeltaResponse
+	if err := resp.Decode(&delta); err != nil {
+		return 0, err
+	}
+	recs, err := store.DecodeRecords(delta.Records)
+	if err != nil {
+		// A frame that fails its checksum means a corrupt transfer or a
+		// misbehaving peer; nothing before the bad frame is trusted
+		// either — the peer re-sends the whole delta next round.
+		return 0, fmt.Errorf("quorum: delta from %q: %w", delta.VerifierID, err)
+	}
+	return svc.Ingest(recs)
+}

@@ -167,30 +167,95 @@ func (r *Registry) Parties() []string {
 // ErrNoVerdicts is returned by MajorityVote when no verdicts are supplied.
 var ErrNoVerdicts = errors.New("reputation: no verdicts to vote on")
 
-// ErrTie is returned by MajorityVote on an exact tie.
+// ErrTie is returned by MajorityVote and WeightedVote when neither the
+// vote counts nor the voters' aggregate reputations separate the sides.
 var ErrTie = errors.New("reputation: verdicts tied; no majority")
 
+// voters returns the parties of a verdict map in sorted order. Both the
+// weight sums and the audit log must not depend on map iteration order:
+// float addition is not associative, so summing reputations in a random
+// order could flip a hairline weight comparison between runs of the very
+// same vote.
+func voters(verdicts map[string]bool) []string {
+	parties := make([]string, 0, len(verdicts))
+	for p := range verdicts {
+		parties = append(parties, p)
+	}
+	sort.Strings(parties)
+	return parties
+}
+
+// tally sums each side of a vote: how many verifiers voted accept/reject
+// and the aggregate current reputation behind each side, accumulated in
+// sorted-party order for run-to-run determinism.
+func (r *Registry) tally(verdicts map[string]bool) (accepts, rejects int, acceptW, rejectW float64) {
+	for _, party := range voters(verdicts) {
+		w := r.Reputation(party)
+		if verdicts[party] {
+			accepts++
+			acceptW += w
+		} else {
+			rejects++
+			rejectW += w
+		}
+	}
+	return accepts, rejects, acceptW, rejectW
+}
+
+// record updates every voter's reputation by agreement with the outcome,
+// in sorted order so the audit log is deterministic.
+func (r *Registry) record(verdicts map[string]bool, outcome bool) {
+	for _, party := range voters(verdicts) {
+		r.ReportAgreement(party, verdicts[party] == outcome)
+	}
+}
+
 // MajorityVote aggregates per-verifier accept/reject verdicts: the majority
-// outcome wins, each verifier's reputation is updated by agreement with the
-// majority, and the outcome is returned. On a tie nothing is updated and
-// ErrTie is returned — the agent should consult more verifiers.
+// outcome wins and each verifier's reputation is updated by agreement with
+// it. An even split is broken by the voters' aggregate current reputations
+// — the side backed by more earned trust wins, so even-sized quorums
+// degrade gracefully instead of erroring — and only when the reputations
+// tie too is nothing updated and ErrTie returned: the agent should consult
+// more verifiers.
 func (r *Registry) MajorityVote(verdicts map[string]bool) (bool, error) {
 	if len(verdicts) == 0 {
 		return false, ErrNoVerdicts
 	}
-	accepts := 0
-	for _, v := range verdicts {
-		if v {
-			accepts++
-		}
-	}
-	rejects := len(verdicts) - accepts
-	if accepts == rejects {
+	accepts, rejects, acceptW, rejectW := r.tally(verdicts)
+	var outcome bool
+	switch {
+	case accepts != rejects:
+		outcome = accepts > rejects
+	case acceptW != rejectW:
+		outcome = acceptW > rejectW
+	default:
 		return false, ErrTie
 	}
-	outcome := accepts > rejects
-	for party, v := range verdicts {
-		r.ReportAgreement(party, v == outcome)
+	r.record(verdicts, outcome)
+	return outcome, nil
+}
+
+// WeightedVote aggregates verdicts with each vote weighted by the voter's
+// current reputation — the paper's "majority of the verifiers is trusted"
+// with trust made quantitative: a verifier that has lied before moves the
+// outcome less than one with a clean record. A weight tie falls back to
+// raw counts; ErrTie is returned only when both tie, and then nothing is
+// updated. On success every voter's reputation is updated by agreement
+// with the outcome, so a dissenting verifier's reputation decays.
+func (r *Registry) WeightedVote(verdicts map[string]bool) (bool, error) {
+	if len(verdicts) == 0 {
+		return false, ErrNoVerdicts
 	}
+	accepts, rejects, acceptW, rejectW := r.tally(verdicts)
+	var outcome bool
+	switch {
+	case acceptW != rejectW:
+		outcome = acceptW > rejectW
+	case accepts != rejects:
+		outcome = accepts > rejects
+	default:
+		return false, ErrTie
+	}
+	r.record(verdicts, outcome)
 	return outcome, nil
 }

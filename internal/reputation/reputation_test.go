@@ -113,6 +113,159 @@ func TestMajorityVoteEdgeCases(t *testing.T) {
 	}
 }
 
+// seedScore drives a party to a chosen track record so vote tests can set
+// up unequal reputations deterministically.
+func seedScore(r *Registry, party string, agreements, disagreements int) {
+	for i := 0; i < agreements; i++ {
+		r.ReportAgreement(party, true)
+	}
+	for i := 0; i < disagreements; i++ {
+		r.ReportAgreement(party, false)
+	}
+}
+
+func TestVoteTieBreaking(t *testing.T) {
+	// seed maps party -> (agreements, disagreements) recorded before the
+	// vote, so sides can carry unequal aggregate reputations.
+	type seed struct{ agree, disagree int }
+	cases := []struct {
+		name     string
+		seeds    map[string]seed
+		verdicts map[string]bool
+		majority func(t *testing.T, outcome bool, err error)
+		weighted func(t *testing.T, outcome bool, err error)
+	}{
+		{
+			name:     "odd quorum: counts decide both votes",
+			verdicts: map[string]bool{"a": true, "b": true, "c": false},
+			majority: wantOutcome(true),
+			weighted: wantOutcome(true),
+		},
+		{
+			name:     "even split, equal weights: ErrTie from both",
+			verdicts: map[string]bool{"a": true, "b": false},
+			majority: wantTie(),
+			weighted: wantTie(),
+		},
+		{
+			name:     "even split, heavier accepter: weight breaks the count tie",
+			seeds:    map[string]seed{"trusted": {agree: 8}},
+			verdicts: map[string]bool{"trusted": true, "fresh": false},
+			majority: wantOutcome(true),
+			weighted: wantOutcome(true),
+		},
+		{
+			name:     "even split, heavier rejecter: weight tie-break goes the other way",
+			seeds:    map[string]seed{"trusted": {agree: 8}},
+			verdicts: map[string]bool{"trusted": false, "fresh": true},
+			majority: wantOutcome(false),
+			weighted: wantOutcome(false),
+		},
+		{
+			name: "count majority of discredited voters: weighted vote flips it",
+			// Two liars (rep 1/12 each, sum ~0.17) outnumber one proven
+			// verifier (rep 11/12): MajorityVote follows the count,
+			// WeightedVote follows the earned trust.
+			seeds: map[string]seed{
+				"liar1": {disagree: 10},
+				"liar2": {disagree: 10},
+				"solid": {agree: 10},
+			},
+			verdicts: map[string]bool{"liar1": false, "liar2": false, "solid": true},
+			majority: wantOutcome(false),
+			weighted: wantOutcome(true),
+		},
+		{
+			name: "weight tie with count majority: weighted vote falls back to counts",
+			// Four accepters at reputation 1/4 (0 agreements, 2
+			// disagreements each) sum to exactly 1.0, as do two fresh
+			// rejecters at 1/2 — both exact binary fractions, so the
+			// weights tie bit-for-bit and the 4-vs-2 count decides.
+			seeds: map[string]seed{
+				"a1": {disagree: 2}, "a2": {disagree: 2},
+				"a3": {disagree: 2}, "a4": {disagree: 2},
+			},
+			verdicts: map[string]bool{
+				"a1": true, "a2": true, "a3": true, "a4": true,
+				"r1": false, "r2": false,
+			},
+			majority: wantOutcome(true),
+			weighted: wantOutcome(true),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, vote := range []string{"majority", "weighted"} {
+				r := NewRegistryWithClock(fixedClock())
+				for party, s := range tc.seeds {
+					seedScore(r, party, s.agree, s.disagree)
+				}
+				var outcome bool
+				var err error
+				check := tc.majority
+				if vote == "weighted" {
+					outcome, err = r.WeightedVote(tc.verdicts)
+					check = tc.weighted
+				} else {
+					outcome, err = r.MajorityVote(tc.verdicts)
+				}
+				t.Run(vote, func(t *testing.T) { check(t, outcome, err) })
+				if err != nil {
+					// A tie must not move any voter's reputation.
+					for party := range tc.verdicts {
+						if _, seeded := tc.seeds[party]; !seeded && r.Reputation(party) != 0.5 {
+							t.Errorf("%s vote: tie moved %s to %f", vote, party, r.Reputation(party))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func wantOutcome(want bool) func(*testing.T, bool, error) {
+	return func(t *testing.T, outcome bool, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("err = %v, want outcome %v", err, want)
+		}
+		if outcome != want {
+			t.Errorf("outcome = %v, want %v", outcome, want)
+		}
+	}
+}
+
+func wantTie() func(*testing.T, bool, error) {
+	return func(t *testing.T, _ bool, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrTie) {
+			t.Errorf("err = %v, want ErrTie", err)
+		}
+	}
+}
+
+// A successful vote — tie-broken or not — must update every voter.
+func TestVoteTieBreakRecordsAgreement(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	seedScore(r, "trusted", 8, 0)
+	if _, err := r.MajorityVote(map[string]bool{"trusted": true, "fresh": false}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Score("trusted"); s.Agreements != 9 {
+		t.Errorf("trusted agreements = %d, want 9", s.Agreements)
+	}
+	if s := r.Score("fresh"); s.Disagreements != 1 {
+		t.Errorf("fresh disagreements = %d, want 1", s.Disagreements)
+	}
+}
+
+func TestWeightedVoteEmpty(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+	if _, err := r.WeightedVote(nil); !errors.Is(err, ErrNoVerdicts) {
+		t.Errorf("err = %v, want ErrNoVerdicts", err)
+	}
+}
+
 func TestPartiesSortedByReputation(t *testing.T) {
 	r := NewRegistryWithClock(fixedClock())
 	r.ReportAgreement("mid", true)

@@ -138,12 +138,29 @@ func (c *verdictCache) Get(key identity.Hash) (*core.Verdict, bool) {
 // when the stripe is full. The deep copy is taken before the lock; the
 // shard lock covers only the map insert and any eviction scan.
 func (c *verdictCache) Put(key identity.Hash, v core.Verdict) {
+	c.put(key, v, false)
+}
+
+// PutCold stores a verdict at the oldest possible recency instead of the
+// freshest: on an over-full stripe the cold entries are themselves the
+// first evicted, so bulk insertion (anti-entropy ingest) fills spare
+// capacity without displacing the shard's live working set. A later Get
+// promotes a cold entry to normal recency like any other hit.
+func (c *verdictCache) PutCold(key identity.Hash, v core.Verdict) {
+	c.put(key, v, true)
+}
+
+func (c *verdictCache) put(key identity.Hash, v core.Verdict, cold bool) {
 	if len(c.shards) == 0 {
 		return
 	}
 	e := &cacheEntry{verdict: v.Clone()}
 	sh := c.shardFor(key)
-	e.stamp.Store(sh.clock.Add(1))
+	if !cold {
+		// A cold entry keeps stamp 0 — below every ticket the shard's
+		// clock has ever issued — so the eviction scan ranks it stalest.
+		e.stamp.Store(sh.clock.Add(1))
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, existed := sh.entries.Swap(key, e); existed {
@@ -210,4 +227,3 @@ func (c *verdictCache) ShardLens() []int {
 	}
 	return lens
 }
-

@@ -17,7 +17,41 @@ const (
 	// MsgServiceStats: operator → service. Empty payload; reply "stats"
 	// with StatsResponse.
 	MsgServiceStats = "service-stats"
+	// MsgSyncOffer: verifier → peer verifier. Payload SyncOfferRequest
+	// (the requester's verdict-log manifest); reply "sync-delta" with
+	// SyncDeltaResponse carrying the records the requester is missing.
+	MsgSyncOffer = "sync-offer"
+	// MsgSyncDelta is the reply type to a sync-offer.
+	MsgSyncDelta = "sync-delta"
 )
+
+// SyncEntry is one manifest line in a sync-offer: a 32-byte verdict-log
+// key (identity.Hash), the newest stamp the requester holds for it, and
+// the checksum of the verdict content at that stamp (so a peer whose
+// copy differs only in stamp — compaction re-ranking — sends nothing).
+type SyncEntry struct {
+	Key   []byte `json:"key"`
+	Stamp uint64 `json:"stamp"`
+	Sum   uint32 `json:"sum"`
+}
+
+// SyncOfferRequest is a verifier's "what I have" half of an anti-entropy
+// exchange: the peer answers with every live record whose key is absent
+// from — or stamped newer than — these entries.
+type SyncOfferRequest struct {
+	VerifierID string      `json:"verifierId"`
+	Have       []SyncEntry `json:"have"`
+}
+
+// SyncDeltaResponse carries the records the requester was missing, framed
+// with the verdict log's own length-prefixed CRC32C record layout
+// (store.EncodeRecords), so the transfer is integrity-checked record by
+// record before a single one is ingested.
+type SyncDeltaResponse struct {
+	VerifierID string `json:"verifierId"`
+	Count      int    `json:"count"`
+	Records    []byte `json:"records,omitempty"`
+}
 
 // BatchVerifyRequest asks the service to verify a slice of announcements.
 // Carrying full announcements (not bare verify requests) lets the service
@@ -75,6 +109,16 @@ func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.
 		})
 	case MsgServiceStats:
 		return transport.NewMessage("stats", StatsResponse{VerifierID: s.id, Stats: s.Stats()})
+	case MsgSyncOffer:
+		var offer SyncOfferRequest
+		if err := req.Decode(&offer); err != nil {
+			return transport.Message{}, err
+		}
+		delta, err := s.ServeSyncOffer(offer)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgSyncDelta, delta)
 	default:
 		return transport.Message{}, fmt.Errorf("service: cannot handle %q", req.Type)
 	}

@@ -27,6 +27,8 @@ type metrics struct {
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
 	deduplicated atomic.Uint64
+	ingested     atomic.Uint64
+	deltasServed atomic.Uint64
 	accepted     atomic.Uint64
 	rejected     atomic.Uint64
 	failures     atomic.Uint64
@@ -132,6 +134,12 @@ type Stats struct {
 	// Deduplicated counts requests that shared a concurrent identical
 	// verification instead of running their own (singleflight followers).
 	Deduplicated uint64 `json:"deduplicated"`
+	// Ingested counts verdicts absorbed from quorum peers via
+	// anti-entropy: they enter the cache (and the durable log) without
+	// ever counting as hits or misses — replication is not traffic.
+	// DeltasServed counts sync-offer requests answered for peers.
+	Ingested     uint64 `json:"ingested"`
+	DeltasServed uint64 `json:"deltasServed"`
 	// Accepted / Rejected partition delivered verdicts.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
@@ -172,6 +180,8 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 		CacheHits:    m.cacheHits.Load(),
 		CacheMisses:  m.cacheMisses.Load(),
 		Deduplicated: m.deduplicated.Load(),
+		Ingested:     m.ingested.Load(),
+		DeltasServed: m.deltasServed.Load(),
 		Accepted:     m.accepted.Load(),
 		Rejected:     m.rejected.Load(),
 		Failures:     m.failures.Load(),

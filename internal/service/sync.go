@@ -1,0 +1,95 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"rationality/internal/identity"
+	"rationality/internal/store"
+)
+
+// Anti-entropy endpoints: a quorum of verification authorities converges
+// on shared verdict history by pulling, from each peer, the durable-log
+// records it is missing. The service side is deliberately pull-based —
+// the requester offers its manifest, the responder computes the delta —
+// so a verifier that was down for a day catches up with one exchange per
+// peer and no peer ever pushes unrequested state.
+
+// ErrNoStore is returned by the sync API on a service running without a
+// durable verdict store: anti-entropy replicates the log, so there must
+// be one (set Config.PersistPath).
+var ErrNoStore = errors.New("service: anti-entropy requires a durable verdict store (Config.PersistPath)")
+
+// SyncOffer snapshots this service's verdict log as the sync-offer
+// payload to send a peer: one entry per live record, newest stamp each.
+func (s *Service) SyncOffer() (SyncOfferRequest, error) {
+	if s.store == nil {
+		return SyncOfferRequest{}, ErrNoStore
+	}
+	manifest, err := s.store.Manifest()
+	if err != nil {
+		return SyncOfferRequest{}, err
+	}
+	offer := SyncOfferRequest{VerifierID: s.id, Have: make([]SyncEntry, 0, len(manifest))}
+	for key, info := range manifest {
+		offer.Have = append(offer.Have, SyncEntry{
+			Key:   append([]byte(nil), key[:]...),
+			Stamp: info.Stamp,
+			Sum:   info.Sum,
+		})
+	}
+	return offer, nil
+}
+
+// ServeSyncOffer answers a peer's sync-offer with the framed records this
+// service's log holds and the peer's manifest lacks (missing key, or
+// older stamp). The handler wires it to the "sync-offer" message.
+func (s *Service) ServeSyncOffer(offer SyncOfferRequest) (SyncDeltaResponse, error) {
+	if s.store == nil {
+		return SyncDeltaResponse{}, ErrNoStore
+	}
+	have := make(map[identity.Hash]store.RecordInfo, len(offer.Have))
+	for _, e := range offer.Have {
+		if len(e.Key) != len(identity.Hash{}) {
+			return SyncDeltaResponse{}, fmt.Errorf("service: malformed sync-offer key of %d bytes", len(e.Key))
+		}
+		have[identity.Hash(e.Key)] = store.RecordInfo{Stamp: e.Stamp, Sum: e.Sum}
+	}
+	delta, err := s.store.Delta(have)
+	if err != nil {
+		return SyncDeltaResponse{}, err
+	}
+	framed, err := store.EncodeRecords(delta)
+	if err != nil {
+		return SyncDeltaResponse{}, err
+	}
+	s.metrics.deltasServed.Add(1)
+	return SyncDeltaResponse{VerifierID: s.id, Count: len(delta), Records: framed}, nil
+}
+
+// Ingest merges records pulled from a peer into the durable log
+// (newest-stamp-wins, bounded by the store's retention — see
+// store.Ingest) and installs every applied verdict into the sharded
+// cache at *cold* recency: replicated history fills spare capacity and
+// serves as hits, but a bulk delta can never evict the node's live
+// working set. Ingested verdicts never touch the hit/miss counters —
+// they are replication, not traffic — and are counted in Stats.Ingested
+// instead. Returns how many records were applied; stale offers that lost
+// the stamp comparison are skipped silently. A store write error is
+// returned after the records that did apply are installed, so a partial
+// merge is still served.
+func (s *Service) Ingest(recs []store.Record) (int, error) {
+	if s.store == nil {
+		return 0, ErrNoStore
+	}
+	if err := s.acquire(); err != nil {
+		return 0, err
+	}
+	defer s.release()
+	applied, err := s.store.Ingest(recs)
+	for i := range applied {
+		s.cache.PutCold(applied[i].Key, applied[i].Verdict)
+	}
+	s.metrics.ingested.Add(uint64(len(applied)))
+	return len(applied), err
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rationality/internal/store"
+	"rationality/internal/transport"
+)
+
+// newSyncedPair starts two persisted services, verifies n distinct
+// announcements on the first, and returns both.
+func newSyncedPair(t *testing.T, n int) (src, dst *Service) {
+	t.Helper()
+	src = newTestService(t, Config{ID: "src", PersistPath: t.TempDir()})
+	src.Register(&countingProc{format: "counting/v1", accept: true})
+	dst = newTestService(t, Config{ID: "dst", PersistPath: t.TempDir()})
+	dst.Register(&countingProc{format: "counting/v1", accept: true})
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if _, err := src.VerifyAnnouncement(ctx, announcementFor("inv", fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return src, dst
+}
+
+// pullOverWire runs one anti-entropy pull through the actual wire
+// messages: dst's offer travels to src's handler, the framed delta comes
+// back, dst ingests it.
+func pullOverWire(t *testing.T, dst, src *Service) int {
+	t.Helper()
+	offer, err := dst.SyncOffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := transport.NewMessage(MsgSyncOffer, offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := src.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgSyncDelta {
+		t.Fatalf("reply type = %q, want %q", resp.Type, MsgSyncDelta)
+	}
+	var delta SyncDeltaResponse
+	if err := resp.Decode(&delta); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.DecodeRecords(delta.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != delta.Count {
+		t.Fatalf("delta framed %d records but declared %d", len(recs), delta.Count)
+	}
+	applied, err := dst.Ingest(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return applied
+}
+
+// A pulled delta must land in the receiving service's cache as servable
+// history: no misses, no procedure runs, just hits — and the hit/miss
+// counters must not move during the ingest itself.
+func TestSyncIngestPopulatesCacheWithoutMisses(t *testing.T) {
+	const n = 7
+	src, dst := newSyncedPair(t, n)
+	if applied := pullOverWire(t, dst, src); applied != n {
+		t.Fatalf("ingested %d records, want %d", applied, n)
+	}
+
+	st := dst.Stats()
+	if st.Ingested != n {
+		t.Errorf("Stats.Ingested = %d, want %d", st.Ingested, n)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.Requests != 0 {
+		t.Errorf("ingest moved traffic counters: %+v", st)
+	}
+	if st.CacheEntries != n {
+		t.Errorf("CacheEntries = %d, want %d", st.CacheEntries, n)
+	}
+	if st.Persistence == nil || st.Persistence.Ingested != n || st.Persistence.LiveRecords != n {
+		t.Errorf("persistence stats = %+v, want Ingested/LiveRecords %d", st.Persistence, n)
+	}
+	if srcSt := src.Stats(); srcSt.DeltasServed != 1 {
+		t.Errorf("src DeltasServed = %d, want 1", srcSt.DeltasServed)
+	}
+
+	// Replicated verdicts serve as pure cache hits.
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		v, err := dst.VerifyAnnouncement(ctx, announcementFor("inv", fmt.Sprintf(`{"i":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Accepted {
+			t.Fatalf("replicated verdict %d not accepted: %+v", i, v)
+		}
+	}
+	st = dst.Stats()
+	if st.CacheHits != n || st.CacheMisses != 0 {
+		t.Errorf("after replay traffic: hits=%d misses=%d, want %d/0", st.CacheHits, st.CacheMisses, n)
+	}
+
+	// A second pull finds both sides converged.
+	if applied := pullOverWire(t, dst, src); applied != 0 {
+		t.Errorf("second pull applied %d records, want 0", applied)
+	}
+}
+
+// The sync API refuses to pretend on a service without a durable store.
+func TestSyncRequiresStore(t *testing.T) {
+	s := newTestService(t, Config{ID: "ephemeral"})
+	if _, err := s.SyncOffer(); !errors.Is(err, ErrNoStore) {
+		t.Errorf("SyncOffer err = %v, want ErrNoStore", err)
+	}
+	if _, err := s.ServeSyncOffer(SyncOfferRequest{}); !errors.Is(err, ErrNoStore) {
+		t.Errorf("ServeSyncOffer err = %v, want ErrNoStore", err)
+	}
+	if _, err := s.Ingest(nil); !errors.Is(err, ErrNoStore) {
+		t.Errorf("Ingest err = %v, want ErrNoStore", err)
+	}
+}
+
+// A malformed manifest key is an error, not a panic or a silent skip.
+func TestServeSyncOfferRejectsBadKey(t *testing.T) {
+	s := newTestService(t, Config{ID: "src", PersistPath: t.TempDir()})
+	_, err := s.ServeSyncOffer(SyncOfferRequest{Have: []SyncEntry{{Key: []byte("short"), Stamp: 1}}})
+	if err == nil {
+		t.Fatal("malformed key accepted")
+	}
+}
+
+// Ingest after Close must refuse cleanly (the drain contract), not wedge
+// on a stopped flusher.
+func TestIngestAfterCloseRefused(t *testing.T) {
+	s := newTestService(t, Config{ID: "src", PersistPath: t.TempDir()})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(nil); !errors.Is(err, ErrServiceClosed) {
+		t.Errorf("Ingest after Close: err = %v, want ErrServiceClosed", err)
+	}
+}

@@ -43,7 +43,7 @@ func (s *Store) compact() {
 	}
 	live := make(map[identity.Hash]*Record, len(s.index))
 	absorb := func(r *Record) {
-		if stamp, ok := s.index[r.Key]; !ok || r.Stamp != stamp {
+		if cur, ok := s.index[r.Key]; !ok || r.Stamp != cur.stamp {
 			return // superseded or unknown: garbage
 		}
 		cp := *r
@@ -138,7 +138,9 @@ func (s *Store) refreshRetained(live map[identity.Hash]*Record, hot []*Record) {
 		}
 		r.Stamp = s.nextStamp
 		s.nextStamp++
-		s.index[r.Key] = r.Stamp
+		entry := s.index[r.Key]
+		entry.stamp = r.Stamp // content unchanged: the sum stays
+		s.index[r.Key] = entry
 	}
 }
 
@@ -156,7 +158,7 @@ func (s *Store) writeSnapshot(live map[identity.Hash]*Record) error {
 	w := bufio.NewWriterSize(tmp, 1<<16)
 	buf := s.buf[:0]
 	for _, r := range live {
-		if buf, err = appendRecord(buf[:0], r); err != nil {
+		if buf, _, err = appendRecord(buf[:0], r); err != nil {
 			return err
 		}
 		if _, err := w.Write(buf); err != nil {

@@ -19,7 +19,7 @@ func buildTail(t *testing.T, n int) (data []byte, sizes []int) {
 		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
 		before := len(data)
 		var err error
-		data, err = appendRecord(data, &rec)
+		data, _, err = appendRecord(data, &rec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestRecoverTornSnapshot(t *testing.T) {
 	for i := 10; i < 12; i++ {
 		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
 		var err error
-		tail, err = appendRecord(tail, &rec)
+		tail, _, err = appendRecord(tail, &rec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -61,17 +61,42 @@ type Record struct {
 	Verdict core.Verdict
 }
 
-// appendRecord encodes a record onto buf and returns the extended slice.
-// The frame is assembled in memory first so the file write is a single
+// idxEntry is one on-disk index line: the newest stamp a key holds and
+// the checksum of the verdict content at that stamp. The sum lets the
+// anti-entropy manifest distinguish "peer has newer content" from "peer
+// merely re-stamped identical content" (compaction's warmth re-ranking
+// does the latter on every pass), so stamp churn never causes a
+// re-transfer.
+type idxEntry struct {
+	stamp uint64
+	sum   uint32
+}
+
+// verdictSum is the content checksum the index and sync manifests carry:
+// CRC32C over the canonical JSON encoding of the verdict — the exact
+// bytes appendRecord frames, so every replica computes the same sum for
+// the same verdict regardless of which one first persisted it.
+func verdictSum(v *core.Verdict) uint32 {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0 // unencodable: writeStamped will refuse it anyway
+	}
+	return crc32.Checksum(body, crcTable)
+}
+
+// appendRecord encodes a record onto buf and returns the extended slice
+// plus the verdict's content checksum (computed here, where the verdict
+// bytes already exist, so the index never pays a second marshal). The
+// frame is assembled in memory first so the file write is a single
 // contiguous append — the closest a userspace writer gets to atomicity.
-func appendRecord(buf []byte, r *Record) ([]byte, error) {
+func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	body, err := json.Marshal(&r.Verdict)
 	if err != nil {
-		return buf, fmt.Errorf("store: encoding verdict: %w", err)
+		return buf, 0, fmt.Errorf("store: encoding verdict: %w", err)
 	}
 	payloadLen := minPayload + len(body)
 	if payloadLen > maxPayload {
-		return buf, fmt.Errorf("store: verdict of %d bytes exceeds the %d-byte record bound", len(body), maxPayload)
+		return buf, 0, fmt.Errorf("store: verdict of %d bytes exceeds the %d-byte record bound", len(body), maxPayload)
 	}
 	start := len(buf)
 	buf = append(buf, make([]byte, headerLen)...)
@@ -81,7 +106,7 @@ func appendRecord(buf []byte, r *Record) ([]byte, error) {
 	payload := buf[start+headerLen:]
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
-	return buf, nil
+	return buf, crc32.Checksum(body, crcTable), nil
 }
 
 // errTorn reports a frame that cannot be trusted: a short read, a length

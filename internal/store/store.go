@@ -115,6 +115,10 @@ type Stats struct {
 	// Close returns the error. A non-zero, growing Failed with a quiet
 	// Dropped means the disk is the problem, not the load.
 	Failed uint64 `json:"failed"`
+	// Ingested counts records absorbed from peers via Ingest (anti-entropy)
+	// since Open — applied records only, not stale offers that lost the
+	// newest-stamp-wins comparison.
+	Ingested uint64 `json:"ingested"`
 	// Compactions counts snapshot rewrites since Open; CompactedRecords
 	// the records they eliminated — superseded duplicates plus, under a
 	// MaxLive bound, retired oldest records.
@@ -140,12 +144,13 @@ type Store struct {
 	unlock func() // releases the directory's exclusive flock
 
 	queue chan Record
+	cmds  chan func()   // synchronous flusher-thread commands (sync API)
 	quit  chan struct{} // closed by Close: flusher drains and exits
 	done  chan struct{} // closed by the flusher on exit
 	once  sync.Once
 
 	// Flusher-owned state (no locking: single goroutine).
-	index     map[identity.Hash]uint64 // key -> latest stamp on disk
+	index     map[identity.Hash]idxEntry // key -> newest on-disk stamp + content sum
 	nextStamp uint64
 	sinceSync int
 	buf       []byte
@@ -157,6 +162,7 @@ type Store struct {
 	replayed    atomic.Uint64
 	dropped     atomic.Uint64
 	failed      atomic.Uint64
+	ingested    atomic.Uint64
 	compactions atomic.Uint64
 	compacted   atomic.Uint64
 	live        atomic.Uint64
@@ -210,13 +216,14 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 		tail:      tail,
 		unlock:    unlock,
 		queue:     make(chan Record, opts.QueueSize),
+		cmds:      make(chan func()),
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
-		index:     make(map[identity.Hash]uint64, len(rec.live)),
+		index:     make(map[identity.Hash]idxEntry, len(rec.live)),
 		nextStamp: rec.maxStamp + 1,
 	}
 	for key, r := range rec.live {
-		s.index[key] = r.Stamp
+		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict)}
 	}
 	live := uint64(len(rec.live))
 	s.replayed.Store(live)
@@ -266,6 +273,7 @@ func (s *Store) Stats() Stats {
 		Replayed:         s.replayed.Load(),
 		Dropped:          s.dropped.Load(),
 		Failed:           s.failed.Load(),
+		Ingested:         s.ingested.Load(),
 		Compactions:      s.compactions.Load(),
 		CompactedRecords: s.compacted.Load(),
 		LiveRecords:      s.live.Load(),
@@ -302,27 +310,35 @@ func (s *Store) flusher() {
 					return
 				}
 			}
+		case fn := <-s.cmds:
+			// Writes first, then the command: any Append accepted before
+			// the command was issued is on disk when the command runs, so
+			// the sync API (Manifest/Delta/Ingest) observes a consistent
+			// prefix of the append history.
+			s.drainPending()
+			fn()
 		case r := <-s.queue:
 			s.handleRecord(&r)
-			// Drain the rest of the burst without blocking; handleRecord
-			// keeps the sync cadence honest inside the burst, so one
-			// fsync covers at most SyncEvery records even under a load
-			// that never lets the queue run dry.
-		burst:
-			for {
-				select {
-				case r := <-s.queue:
-					s.handleRecord(&r)
-				default:
-					// Queue drained: sync the leftovers before going
-					// idle. SyncEvery bounds the unsynced window under
-					// load; on a quiet service nothing should sit in
-					// the page cache for hours waiting for record
-					// number SyncEvery to show up.
-					s.syncTail()
-					break burst
-				}
-			}
+			s.drainPending()
+		}
+	}
+}
+
+// drainPending handles every currently queued record without blocking,
+// then syncs the leftovers before the flusher goes idle (or runs a
+// command). handleRecord keeps the sync cadence honest inside the burst,
+// so one fsync covers at most SyncEvery records even under a load that
+// never lets the queue run dry; the trailing sync means a quiet service
+// never leaves records sitting in the page cache waiting for record
+// number SyncEvery to show up.
+func (s *Store) drainPending() {
+	for {
+		select {
+		case r := <-s.queue:
+			s.handleRecord(&r)
+		default:
+			s.syncTail()
+			return
 		}
 	}
 }
@@ -336,12 +352,17 @@ func (s *Store) handleRecord(r *Record) {
 	if s.sinceSync >= s.opts.SyncEvery {
 		s.syncTail()
 	}
+	s.maybeCompact()
+}
+
+// maybeCompact runs a compaction when superseded records pile up — or,
+// with a MaxLive bound, when the live set outgrows it by a compaction's
+// worth, so an all-distinct-keys workload (which creates no garbage)
+// still gets its history retired on the same amortized cadence. Local
+// appends and anti-entropy merges share this single trigger.
+func (s *Store) maybeCompact() {
 	if s.garbage.Load() >= uint64(s.opts.CompactAt) ||
 		(s.opts.MaxLive > 0 && s.live.Load() >= uint64(s.opts.MaxLive+s.opts.CompactAt)) {
-		// Compact when superseded records pile up — or, with a MaxLive
-		// bound, when the live set outgrows it by a compaction's worth,
-		// so an all-distinct-keys workload (which creates no garbage)
-		// still gets its history retired on the same amortized cadence.
 		s.compact()
 	}
 }
@@ -358,7 +379,23 @@ func (s *Store) writeRecord(r *Record) {
 	}
 	r.Stamp = s.nextStamp
 	s.nextStamp++
-	buf, err := appendRecord(s.buf[:0], r)
+	s.writeStamped(r)
+}
+
+// writeStamped frames and appends a record that already carries its stamp.
+// Local appends arrive via writeRecord with a fresh stamp; anti-entropy
+// ingestion keeps the peer's stamp so replicas converge on identical
+// (key, stamp) histories, and the local clock jumps past it to keep
+// stamps monotonic across the merged history.
+func (s *Store) writeStamped(r *Record) {
+	if s.flushErr != nil {
+		s.failed.Add(1)
+		return
+	}
+	if r.Stamp >= s.nextStamp {
+		s.nextStamp = r.Stamp + 1
+	}
+	buf, sum, err := appendRecord(s.buf[:0], r)
 	if err != nil {
 		s.failed.Add(1) // unencodable verdict: skip the record
 		return
@@ -374,7 +411,7 @@ func (s *Store) writeRecord(r *Record) {
 	} else {
 		s.live.Add(1)
 	}
-	s.index[r.Key] = r.Stamp
+	s.index[r.Key] = idxEntry{stamp: r.Stamp, sum: sum}
 	s.persisted.Add(1)
 	s.sinceSync++
 }

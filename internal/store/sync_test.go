@@ -1,0 +1,281 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"rationality/internal/identity"
+)
+
+// pull performs one anti-entropy pull: dst offers its manifest, src
+// answers with a delta, dst ingests it — over the same Encode/Decode
+// framing the wire uses, so the test covers the full round trip.
+func pull(t *testing.T, dst, src *Store) []Record {
+	t.Helper()
+	have, err := dst.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := src.Delta(have)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed, err := EncodeRecords(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRecords(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, delta) {
+		t.Fatalf("wire framing not lossless: sent %+v, received %+v", delta, decoded)
+	}
+	applied, err := dst.Ingest(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return applied
+}
+
+func manifestOf(t *testing.T, s *Store) map[identity.Hash]RecordInfo {
+	t.Helper()
+	m, err := s.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Two stores with disjoint histories ingest each other's deltas and end
+// with identical live sets — stamps included, so a third exchange in
+// either direction is a no-op.
+func TestAntiEntropyConvergesDisjointStores(t *testing.T) {
+	a, _ := mustOpen(t, t.TempDir(), Options{})
+	defer a.Close()
+	b, _ := mustOpen(t, t.TempDir(), Options{})
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		if !a.Append(testKey(i), testVerdict(i)) {
+			t.Fatal("append refused")
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if !b.Append(testKey(i), testVerdict(i)) {
+			t.Fatal("append refused")
+		}
+	}
+
+	if n := pull(t, a, b); len(n) != 3 {
+		t.Fatalf("a pulled %d records from b, want 3", len(n))
+	}
+	if n := pull(t, b, a); len(n) != 5 {
+		t.Fatalf("b pulled %d records from a, want 5", len(n))
+	}
+
+	ma, mb := manifestOf(t, a), manifestOf(t, b)
+	if len(ma) != 8 || !reflect.DeepEqual(ma, mb) {
+		t.Fatalf("manifests diverge after one round:\n a=%v\n b=%v", ma, mb)
+	}
+	if st := a.Stats(); st.Ingested != 3 || st.LiveRecords != 8 {
+		t.Fatalf("a stats = %+v, want Ingested 3, LiveRecords 8", st)
+	}
+
+	// Converged replicas exchange nothing.
+	if n := pull(t, a, b); len(n) != 0 {
+		t.Fatalf("second pull moved %d records, want 0", len(n))
+	}
+
+	// The merged history must survive a restart on both sides.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2, recs := mustOpen(t, a.dir, Options{})
+	defer a2.Close()
+	if len(recs) != 8 {
+		t.Fatalf("a recovered %d records after merge, want 8", len(recs))
+	}
+}
+
+// Conflicting stamps on the same key: the newest stamp wins no matter
+// which direction the exchange runs, and an equal-or-older offer never
+// clobbers the local copy.
+func TestAntiEntropyNewestStampWins(t *testing.T) {
+	a, _ := mustOpen(t, t.TempDir(), Options{})
+	defer a.Close()
+	b, _ := mustOpen(t, t.TempDir(), Options{})
+	defer b.Close()
+	key := testKey(0)
+	a.Append(key, testVerdict(1)) // a's stamp 1
+	b.Append(key, testVerdict(2)) // b's stamp 1
+	b.Append(key, testVerdict(3)) // b's stamp 2: b's live copy
+
+	// a pulls from b: b's stamp-2 record beats a's stamp-1 record.
+	if n := pull(t, a, b); len(n) != 1 || n[0].Stamp != 2 {
+		t.Fatalf("a applied %+v, want one record at stamp 2", n)
+	}
+	// b pulls from a: a now has nothing newer — equal stamps, no motion.
+	if n := pull(t, b, a); len(n) != 0 {
+		t.Fatalf("b applied %+v, want nothing", n)
+	}
+	for name, s := range map[string]*Store{"a": a, "b": b} {
+		m := manifestOf(t, s)
+		if len(m) != 1 || m[key].Stamp != 2 {
+			t.Fatalf("%s manifest = %v, want stamp 2 for %v", name, m, key)
+		}
+	}
+
+	// The winning verdict — not just the winning stamp — is what recovery
+	// hands back on the side that ingested.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := mustOpen(t, a.dir, Options{})
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0].Verdict, testVerdict(3)) {
+		t.Fatalf("a recovered %+v, want b's stamp-2 verdict", recs)
+	}
+
+	// A stale re-offer (the loser's record) must be skipped.
+	applied, err := b.Ingest([]Record{{Key: key, Stamp: 1, Verdict: testVerdict(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 0 {
+		t.Fatalf("stale ingest applied %+v, want nothing", applied)
+	}
+}
+
+// Local appends after a merge must stamp above everything ingested, so
+// "newest stamp" keeps meaning "most recent write" across the replicas.
+func TestIngestAdvancesLocalClock(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if _, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 50, Verdict: testVerdict(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Append(testKey(1), testVerdict(1))
+	m := manifestOf(t, s)
+	if m[testKey(1)].Stamp <= 50 {
+		t.Fatalf("local append stamped %d, want > 50 (ingested clock)", m[testKey(1)].Stamp)
+	}
+}
+
+// Identical content under diverged stamps (the signature of compaction's
+// warmth re-ranking) must transfer nothing: without the content check in
+// Delta, converged replicas would bounce their whole hot sets between
+// each other on every sync round, forever.
+func TestDeltaSkipsRestampedIdenticalContent(t *testing.T) {
+	a, _ := mustOpen(t, t.TempDir(), Options{})
+	defer a.Close()
+	b, _ := mustOpen(t, t.TempDir(), Options{})
+	defer b.Close()
+	key := testKey(0)
+	a.Append(key, testVerdict(7))
+	// b holds the same verdict at a much newer stamp — as if b compacted
+	// and re-ranked it after the replicas had converged.
+	if _, err := b.Ingest([]Record{{Key: key, Stamp: 9, Verdict: testVerdict(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := b.Delta(manifestOf(t, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 0 {
+		t.Fatalf("re-stamped identical content produced a delta: %+v", delta)
+	}
+	// Different content at the newer stamp must still transfer.
+	if _, err := b.Ingest([]Record{{Key: key, Stamp: 10, Verdict: testVerdict(8)}}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err = b.Delta(manifestOf(t, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 1 || delta[0].Stamp != 10 {
+		t.Fatalf("changed content not offered: %+v", delta)
+	}
+}
+
+// At the MaxLive retention bound, ingest declines brand-new keys (they
+// would only be retired by the next compaction — and then re-offered by
+// the peer every round) but still applies updates to keys it holds.
+func TestIngestRespectsMaxLive(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{MaxLive: 2, SyncEvery: 1})
+	defer s.Close()
+	s.Append(testKey(0), testVerdict(0))
+	s.Append(testKey(1), testVerdict(1))
+	applied, err := s.Ingest([]Record{
+		{Key: testKey(2), Stamp: 100, Verdict: testVerdict(2)}, // new key: at the bound, declined
+		{Key: testKey(0), Stamp: 101, Verdict: testVerdict(9)}, // update: always lands
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].Key != testKey(0) {
+		t.Fatalf("applied = %+v, want only the update to key 0", applied)
+	}
+	m := manifestOf(t, s)
+	if len(m) != 2 {
+		t.Fatalf("live set = %d keys, want 2 (bound held)", len(m))
+	}
+	if _, leaked := m[testKey(2)]; leaked {
+		t.Fatal("ingest absorbed a key beyond the retention bound")
+	}
+}
+
+// A dead disk must fail the pull loudly: Ingest surfaces the flusher's
+// fatal write error instead of returning success with nothing applied.
+func TestIngestSurfacesWriteError(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{SyncEvery: 1})
+	defer s.Close()
+	if err := s.tail.Close(); err != nil { // kill the disk under the flusher
+		t.Fatal(err)
+	}
+	applied, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 1, Verdict: testVerdict(0)}})
+	if err == nil {
+		t.Fatal("ingest on a dead store reported success")
+	}
+	if len(applied) != 0 {
+		t.Fatalf("dead store claimed to apply %+v", applied)
+	}
+}
+
+// A corrupted wire delta is rejected outright — no salvage semantics off
+// the disk path — and a truncated one too.
+func TestDecodeRecordsRejectsCorruption(t *testing.T) {
+	framed, err := EncodeRecords([]Record{{Key: testKey(0), Stamp: 1, Verdict: testVerdict(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), framed...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := DecodeRecords(flipped); err == nil {
+		t.Fatal("flipped payload byte decoded cleanly")
+	}
+	if _, err := DecodeRecords(framed[:len(framed)-3]); err == nil {
+		t.Fatal("truncated delta decoded cleanly")
+	}
+	recs, err := DecodeRecords(nil)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty delta: recs=%v err=%v, want none/nil", recs, err)
+	}
+}
+
+// The sync API must fail with ErrClosed after Close instead of hanging on
+// a flusher that is no longer listening.
+func TestSyncAPIAfterClose(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Manifest(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Manifest after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := s.Delta(nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delta after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := s.Ingest(nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Ingest after Close: err = %v, want ErrClosed", err)
+	}
+}

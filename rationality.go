@@ -43,6 +43,7 @@ import (
 	"rationality/internal/numeric"
 	"rationality/internal/participation"
 	"rationality/internal/proof"
+	"rationality/internal/quorum"
 	"rationality/internal/reputation"
 	"rationality/internal/service"
 	"rationality/internal/store"
@@ -184,11 +185,53 @@ type (
 )
 
 // Service-layer wire message types (alongside the classic "verify" and
-// "formats" which the service also answers).
+// "formats" which the service also answers). MsgSyncOffer/MsgSyncDelta
+// are the anti-entropy pair: a verifier offers its verdict-log manifest
+// and receives the CRC-framed records it is missing.
 const (
 	MsgVerifyBatch  = service.MsgVerifyBatch
 	MsgServiceStats = service.MsgServiceStats
+	MsgSyncOffer    = service.MsgSyncOffer
+	MsgSyncDelta    = service.MsgSyncDelta
 )
+
+// The multi-verifier quorum layer (see internal/quorum): the paper's
+// "majority of the verifiers is trusted", as a fan-out client.
+type (
+	// QuorumClient fans one verification request out to a panel of
+	// verifiers concurrently, weighted-majority-votes the verdicts
+	// through a reputation registry (every vote moves the voter's
+	// reputation), and returns a certified verdict with a dissent report.
+	QuorumClient = quorum.Client
+	// QuorumConfig configures a QuorumClient: the panel, the registry,
+	// the per-member timeout, and the reputation threshold below which a
+	// member is no longer consulted.
+	QuorumConfig = quorum.Config
+	// QuorumMember is one verifier on the panel: reputation identity
+	// plus the client it answers on.
+	QuorumMember = quorum.Member
+	// QuorumVote is one member's recorded vote, with its post-vote
+	// reputation and dissent flag.
+	QuorumVote = quorum.Vote
+	// QuorumResult is a quorum-certified verdict plus the dissent report.
+	QuorumResult = quorum.Result
+	// SyncOfferRequest / SyncDeltaResponse are the "sync-offer" /
+	// "sync-delta" anti-entropy wire payloads.
+	SyncOfferRequest  = service.SyncOfferRequest
+	SyncDeltaResponse = service.SyncDeltaResponse
+)
+
+// NewQuorumClient validates the panel and builds a quorum client. Member
+// clients are borrowed, not owned: closing them stays with the caller.
+func NewQuorumClient(cfg QuorumConfig) (*QuorumClient, error) { return quorum.New(cfg) }
+
+// QuorumPull performs one anti-entropy round: the local service offers
+// its verdict-log manifest to the peer and ingests the returned records
+// (newest stamp per key wins), returning how many were applied. Both
+// sides need a durable verdict store (ServiceConfig.PersistPath).
+func QuorumPull(ctx context.Context, svc *VerificationService, peer Client) (int, error) {
+	return quorum.Pull(ctx, svc, peer)
+}
 
 // ErrServiceClosed is returned for requests submitted after a
 // VerificationService has been closed.
