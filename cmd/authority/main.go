@@ -27,6 +27,15 @@
 //	authority verifier -id a -listen 127.0.0.1:7101 -persist ./a \
 //	    -peers 127.0.0.1:7102,127.0.0.1:7103 -sync-interval 30s
 //
+//	# federate across operator boundaries: each authority signs the deltas
+//	# it serves with its on-disk Ed25519 identity (auto-generated in the
+//	# persist dir, or keygen + -key), and -peer-keys allowlists whose
+//	# signatures may be ingested — unsigned or unknown-signer deltas are
+//	# rejected before they touch the log
+//	authority keygen -key ./key-b    # prints the party-id to allowlist
+//	authority verifier -id a -listen 127.0.0.1:7101 -persist ./a \
+//	    -peers 127.0.0.1:7102 -peer-keys <b's party-id>
+//
 // The verifier serves through internal/service: a bounded worker pool
 // (-workers), a content-addressed verdict cache with singleflight
 // deduplication (-cache-size; negative disables caching), the batch
@@ -50,6 +59,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +68,7 @@ import (
 	"rationality/internal/bimatrix"
 	"rationality/internal/core"
 	"rationality/internal/game"
+	"rationality/internal/identity"
 	"rationality/internal/numeric"
 	"rationality/internal/participation"
 	"rationality/internal/proof"
@@ -84,6 +96,8 @@ func main() {
 		err = runBatch(os.Args[2:])
 	case "quorum":
 		err = runQuorum(os.Args[2:])
+	case "keygen":
+		err = runKeygen(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
 	case "p2-prover":
@@ -101,11 +115,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|keygen|stats> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
                      [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
+                     [-key file] [-peer-keys hexkey,hexkey,...]
+  authority keygen -key <file>                (create or load a signing identity; print its party ID)
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
   authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
@@ -194,6 +210,10 @@ func runVerifier(args []string) error {
 		"anti-entropy pull cadence against -peers")
 	syncTimeout := fs.Duration("sync-timeout", time.Minute,
 		"bound on one anti-entropy dial+exchange (independent of the cadence, so a short -sync-interval cannot make a large catch-up delta time out forever)")
+	keyPath := fs.String("key", "",
+		"Ed25519 signing-identity keyfile; auto-generated at <persist>/identity.key when -persist is set and this is empty")
+	peerKeysFlag := fs.String("peer-keys", "",
+		"comma-separated hex public keys forming the federation allowlist: pulled sync-deltas must be signed by one of them (requires -persist; empty accepts any peer)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -230,7 +250,26 @@ func runVerifier(args []string) error {
 	if err := validateSyncEvery(*syncEvery); err != nil {
 		return err
 	}
+	peerKeys, err := parsePeerKeys(*peerKeysFlag)
+	if err != nil {
+		return err
+	}
+	if len(peerKeys) > 0 && *persist == "" {
+		// The allowlist gates what anti-entropy may ingest into the
+		// durable log; without a log there is nothing to gate, and a
+		// configured-but-inert allowlist would read as security that
+		// is not there.
+		return fmt.Errorf("-peer-keys requires -persist: the allowlist gates ingestion into the durable verdict log")
+	}
+	if *keyPath != "" && *persist == "" {
+		return fmt.Errorf("-key requires -persist: the signing identity exists to vouch for durable verdict history")
+	}
 	if *corrupt {
+		if *keyPath != "" || len(peerKeys) > 0 {
+			// A signing identity would let the liar's corruption cross
+			// operator boundaries with a valid signature on it.
+			return fmt.Errorf("-corrupt does not support -key or -peer-keys: the adversarial double gets no federation identity")
+		}
 		if len(peerAddrs) > 0 {
 			// A liar with a replicated log would poison honest peers'
 			// caches on top of lying on the wire; the test double stays
@@ -258,6 +297,21 @@ func runVerifier(args []string) error {
 		waitForSignal()
 		return nil
 	}
+	// A persisted verifier always runs with an on-disk signing identity:
+	// -key names the file, or it lives in the persist dir by default and
+	// is generated on first start. The printed party ID is what operators
+	// hand to their peers' -peer-keys allowlists.
+	var key *identity.KeyPair
+	var keyCreated bool
+	keyFile := *keyPath
+	if keyFile == "" && *persist != "" {
+		keyFile = filepath.Join(*persist, "identity.key")
+	}
+	if keyFile != "" {
+		if key, keyCreated, err = identity.LoadOrCreateKeyFile(keyFile); err != nil {
+			return err
+		}
+	}
 	svc, err := service.New(service.Config{
 		ID:          *id,
 		Workers:     *workers,
@@ -266,6 +320,8 @@ func runVerifier(args []string) error {
 		Reputation:  reputation.NewRegistry(),
 		PersistPath: *persist,
 		SyncEvery:   *syncEvery,
+		Key:         key,
+		PeerKeys:    peerKeys,
 	})
 	if err != nil {
 		return err
@@ -280,6 +336,16 @@ func runVerifier(args []string) error {
 	if st.Persistence != nil {
 		fmt.Printf("persistence: %s (replayed %d verdicts, sync every %d, salvaged %d bytes)\n",
 			*persist, st.Persistence.Replayed, *syncEvery, st.Persistence.SalvagedBytes)
+	}
+	if key != nil {
+		verb := "loaded"
+		if keyCreated {
+			verb = "created"
+		}
+		fmt.Printf("federation: signing as %s (key %s, %s)\n", key.ID(), keyFile, verb)
+	}
+	if len(peerKeys) > 0 {
+		fmt.Printf("federation: allowlisting %d peer keys; unsigned or unknown-signer deltas will be rejected\n", len(peerKeys))
 	}
 	var stopSync func()
 	if len(peerAddrs) > 0 {
@@ -337,6 +403,48 @@ func dialVerifiers(list string, timeout time.Duration, conns int, skipUnreachabl
 		out = append(out, dialedVerifier{id: id, client: c})
 	}
 	return out, nil
+}
+
+// parsePeerKeys parses the -peer-keys allowlist: each element must be a
+// well-formed hex Ed25519 public key, refused loudly otherwise — a typo'd
+// key would otherwise just never match a signer, which looks exactly like
+// every peer misbehaving.
+func parsePeerKeys(list string) ([]identity.PartyID, error) {
+	var out []identity.PartyID
+	for _, raw := range splitNonEmpty(list) {
+		id, err := identity.ParsePartyID(raw)
+		if err != nil {
+			return nil, fmt.Errorf("-peer-keys: %w", err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// runKeygen creates (or loads) a signing identity keyfile and prints its
+// party ID — the string an operator hands to peers for their -peer-keys
+// allowlists. Re-running on an existing file is safe: it loads and
+// reprints, never regenerates.
+func runKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	keyPath := fs.String("key", "", "keyfile path to create or load")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" {
+		return fmt.Errorf("keygen needs -key <file>")
+	}
+	k, created, err := identity.LoadOrCreateKeyFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	verb := "loaded existing"
+	if created {
+		verb = "created"
+	}
+	fmt.Printf("keygen: %s %s\n", verb, *keyPath)
+	fmt.Printf("party-id: %s\n", k.ID())
+	return nil
 }
 
 // splitNonEmpty splits a comma-separated flag value, trimming whitespace
@@ -548,6 +656,20 @@ func printStats(st service.Stats) {
 			p.Persisted, p.Replayed, p.Ingested, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)
 		fmt.Printf("persistence: compactions=%d compactedRecords=%d salvagedBytes=%d\n",
 			p.Compactions, p.CompactedRecords, p.SalvagedBytes)
+	}
+	if f := st.Federation; f != nil {
+		fmt.Printf("federation: signer=%s trustedPeers=%d rejectedUnsigned=%d rejectedUnknown=%d rejectedBadSig=%d rejectedCorrupt=%d\n",
+			f.Signer, f.TrustedPeers, f.RejectedUnsigned, f.RejectedUnknown, f.RejectedBadSig, f.RejectedCorrupt)
+		peerIDs := make([]string, 0, len(f.Peers))
+		for id := range f.Peers {
+			peerIDs = append(peerIDs, id)
+		}
+		sort.Strings(peerIDs)
+		for _, id := range peerIDs {
+			p := f.Peers[id]
+			fmt.Printf("federation: peer %s deltas=%d records=%d rejected=%d\n",
+				id, p.Deltas, p.Records, p.Rejected)
+		}
 	}
 }
 

@@ -62,6 +62,123 @@ func TestGodocFacadeExports(t *testing.T) {
 	}
 }
 
+// TestGodocFederationPackages audits every exported identifier — not just
+// the facade's — of the packages that form the federation API surface:
+// internal/quorum and internal/identity. Operators embed these directly
+// (key management, quorum clients, the signed anti-entropy digest), so
+// each exported function, method, type, constant, variable and struct
+// field must carry a doc comment of its own or sit under a documented
+// group/parent.
+func TestGodocFederationPackages(t *testing.T) {
+	for _, dir := range []string{
+		filepath.Join("internal", "quorum"),
+		filepath.Join("internal", "identity"),
+	} {
+		t.Run(dir, func(t *testing.T) {
+			auditPackageExports(t, dir)
+		})
+	}
+}
+
+// auditPackageExports parses every non-test file of dir and reports each
+// undocumented exported identifier, including methods and struct fields.
+func auditPackageExports(t *testing.T, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var undocumented []string
+	report := func(name string, pos token.Pos) {
+		undocumented = append(undocumented,
+			name+" ("+fset.Position(pos).String()+")")
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods count too: a documented API is documented at
+				// every call site godoc renders, receiver or not.
+				if d.Name.IsExported() && d.Doc == nil {
+					report(funcDisplayName(d), d.Pos())
+				}
+			case *ast.GenDecl:
+				auditGenDecl(d, report)
+			}
+		}
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("%s exports without doc comments:\n  %s",
+			dir, strings.Join(undocumented, "\n  "))
+	}
+}
+
+// auditGenDecl reports undocumented exported members of one const/var/type
+// declaration, honoring the godoc group convention (one comment on the
+// group documents its members) and descending into struct fields.
+func auditGenDecl(d *ast.GenDecl, report func(name string, pos token.Pos)) {
+	groupDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() {
+				if sp.Doc == nil && sp.Comment == nil && !groupDocumented {
+					report(sp.Name.Name, sp.Pos())
+				}
+				if st, ok := sp.Type.(*ast.StructType); ok {
+					auditStructFields(sp.Name.Name, st, report)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range sp.Names {
+				if name.IsExported() && sp.Doc == nil && sp.Comment == nil && !groupDocumented {
+					report(name.Name, name.Pos())
+				}
+			}
+		}
+	}
+}
+
+// auditStructFields reports undocumented exported fields of one struct
+// type. A field group (several names, one comment) counts as documented
+// for all its names.
+func auditStructFields(typeName string, st *ast.StructType, report func(name string, pos token.Pos)) {
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				report(typeName+"."+name.Name, name.Pos())
+			}
+		}
+	}
+}
+
+// funcDisplayName renders a function or method name the way the failure
+// list should show it: Recv.Name for methods, Name for functions.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	recv := d.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if ident, ok := recv.(*ast.Ident); ok {
+		return ident.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
 // TestGodocPackageComments fails when any internal package (or the facade
 // itself) lacks a real package comment: one that exists and starts with
 // the canonical "Package <name>" so godoc renders it as the synopsis.

@@ -1,0 +1,156 @@
+// Command federation walks the signed anti-entropy loop across an
+// operator boundary: two verification authorities each hold a persistent
+// Ed25519 identity, exchange public keys, and replicate verdict history
+// with one signed pull round — every transferred verdict lands with the
+// signing peer's identity as on-disk provenance. A third, rogue authority
+// then tries to serve a delta with a key neither operator allowlisted and
+// is rejected before a single record touches the log.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rationality"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+// newAuthority starts a persisted, keyed verification service whose
+// signing identity lives in a keyfile under dir — exactly what
+// `authority verifier -persist dir` does.
+func newAuthority(id, dir string, peers ...rationality.PartyID) (*rationality.VerificationService, *rationality.KeyPair, error) {
+	key, created, err := rationality.LoadOrCreateKeyFile(filepath.Join(dir, "identity.key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if created {
+		fmt.Printf("%s: created signing identity %s…\n", id, key.ID()[:16])
+	}
+	svc, err := rationality.NewVerificationService(rationality.ServiceConfig{
+		ID:          id,
+		PersistPath: dir,
+		Key:         key,
+		PeerKeys:    peers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, key, nil
+}
+
+func run() error {
+	base, err := os.MkdirTemp("", "federation-example")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+
+	// Key exchange happens before the services start: each operator runs
+	// keygen (here: LoadOrCreateKeyFile), publishes its party ID, and
+	// allowlists the other's. The private keys never leave their dirs.
+	alphaKey, _, err := rationality.LoadOrCreateKeyFile(filepath.Join(base, "alpha", "identity.key"))
+	if err != nil {
+		return err
+	}
+	betaKey, _, err := rationality.LoadOrCreateKeyFile(filepath.Join(base, "beta", "identity.key"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("operator alpha publishes party-id %s…\n", alphaKey.ID()[:16])
+	fmt.Printf("operator beta  publishes party-id %s…\n", betaKey.ID()[:16])
+
+	alpha, _, err := newAuthority("alpha", filepath.Join(base, "alpha"), betaKey.ID())
+	if err != nil {
+		return err
+	}
+	defer alpha.Close()
+	beta, _, err := newAuthority("beta", filepath.Join(base, "beta"), alphaKey.ID())
+	if err != nil {
+		return err
+	}
+	defer beta.Close()
+
+	// Alpha verifies an announcement; the verdict is persisted under
+	// alpha's own identity.
+	g, err := rationality.NewGame("prisoners-dilemma", []int{2, 2})
+	if err != nil {
+		return err
+	}
+	g.SetPayoffs(rationality.Profile{0, 0}, rationality.I(3), rationality.I(3))
+	g.SetPayoffs(rationality.Profile{0, 1}, rationality.I(0), rationality.I(5))
+	g.SetPayoffs(rationality.Profile{1, 0}, rationality.I(5), rationality.I(0))
+	g.SetPayoffs(rationality.Profile{1, 1}, rationality.I(1), rationality.I(1))
+	ann, err := rationality.AnnounceEnumeration("acme-games", g, rationality.MaxNash)
+	if err != nil {
+		return err
+	}
+	verdict, err := alpha.VerifyAnnouncement(context.Background(), ann)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alpha verifies acme-games: accepted=%v\n", verdict.Accepted)
+
+	// One signed pull round: beta offers its (empty) manifest, alpha
+	// answers with a delta signed by its key, beta's gate verifies the
+	// signature against the allowlist and ingests.
+	applied, err := rationality.QuorumPull(context.Background(), beta, rationality.DialInProc(alpha))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("beta pulls from alpha: %d record(s) applied\n", applied)
+
+	// Provenance: beta's copy names alpha as the authority that vouched.
+	for _, svc := range []*rationality.VerificationService{alpha, beta} {
+		prov, err := svc.Provenance()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s provenance:\n", svc.ID())
+		for origin, n := range prov {
+			who := "unattributed"
+			switch origin {
+			case alphaKey.ID():
+				who = "vouched by alpha"
+			case betaKey.ID():
+				who = "vouched by beta"
+			}
+			fmt.Printf("  %d verdict(s) %s (%s…)\n", n, who, short(origin))
+		}
+	}
+
+	// A rogue authority with a key nobody allowlisted serves a delta;
+	// beta rejects it before ingest and counts the attempt.
+	rogue, _, err := newAuthority("rogue", filepath.Join(base, "rogue"))
+	if err != nil {
+		return err
+	}
+	defer rogue.Close()
+	if _, err := rogue.VerifyAnnouncement(context.Background(), ann); err != nil {
+		return err
+	}
+	if _, err := rationality.QuorumPull(context.Background(), beta, rationality.DialInProc(rogue)); err != nil {
+		fmt.Printf("beta rejects rogue's delta: %v\n", err)
+	} else {
+		return fmt.Errorf("rogue delta was ingested — the allowlist gate failed")
+	}
+	fed := beta.Stats().Federation
+	fmt.Printf("beta federation counters: trustedPeers=%d rejectedUnknown=%d accepted-from-alpha=%d\n",
+		fed.TrustedPeers, fed.RejectedUnknown, fed.Peers[string(alphaKey.ID())].Records)
+	return nil
+}
+
+// short truncates a party ID for display.
+func short(id rationality.PartyID) string {
+	if len(id) > 16 {
+		return string(id)[:16]
+	}
+	return string(id)
+}

@@ -410,3 +410,74 @@ func TestAgentThresholdFiltersVerifiers(t *testing.T) {
 		t.Error("consultation should fail with no trusted verifiers")
 	}
 }
+
+// TestAgentConsultWeightedLiarOutvoted pins Consult to the weighted vote:
+// two liars with wrecked reputations outnumber one trusted verifier, but
+// earned trust outweighs head count — the same reputation.WeightedVote
+// (and tie-breaking) the quorum client uses. A raw-count majority would
+// decide both cases the liars' way.
+func TestAgentConsultWeightedLiarOutvoted(t *testing.T) {
+	cases := []struct {
+		name         string
+		forged       bool
+		wantAccepted bool
+	}{
+		{name: "honest announcement survives a lying majority", forged: false, wantAccepted: true},
+		{name: "forged announcement caught despite a lying majority", forged: true, wantAccepted: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ann Announcement
+			var err error
+			if tc.forged {
+				ann, err = AnnounceEnumerationForged("shady-inventor", game.PrisonersDilemma(), game.Profile{0, 0})
+			} else {
+				ann, err = AnnounceEnumeration("honest-inventor", game.PrisonersDilemma(), proof.MaxNash)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			agent, registry := newTestAgent(t, ann,
+				[]string{"trusted", "liar-1", "liar-2"},
+				map[string]bool{"liar-1": true, "liar-2": true})
+			// Earned history: the trusted verifier has agreed 4 times
+			// (reputation 5/6), each liar has dissented 4 times (1/6
+			// apiece — 1/3 combined, so even together they cannot outweigh
+			// the trusted voice).
+			for i := 0; i < 4; i++ {
+				registry.ReportAgreement("trusted", true)
+				registry.ReportAgreement("liar-1", false)
+				registry.ReportAgreement("liar-2", false)
+			}
+			liarBefore := registry.Reputation("liar-1")
+
+			res, err := agent.Consult(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted != tc.wantAccepted {
+				t.Fatalf("Accepted = %v, want %v (the liars' head count must not decide)",
+					res.Accepted, tc.wantAccepted)
+			}
+			// The vote moved reputations: liars decayed further, trust grew.
+			if after := registry.Reputation("liar-1"); after >= liarBefore {
+				t.Errorf("liar reputation %f -> %f; dissent must decay it", liarBefore, after)
+			}
+			if registry.Reputation("trusted") <= 5.0/6.0 {
+				t.Error("trusted verifier's agreement did not raise its reputation")
+			}
+			if tc.forged {
+				// The weighted rejection also reports the inventor.
+				found := false
+				for _, e := range registry.Events() {
+					if e.Party == "shady-inventor" && e.Kind == reputation.Misbehaved {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("rejected inventor was not reported")
+				}
+			}
+		})
+	}
+}

@@ -233,14 +233,21 @@ type ConsultResult struct {
 	Announcement Announcement
 	// Verdicts holds each consulted verifier's answer.
 	Verdicts map[string]Verdict
-	// Accepted is the majority outcome: the advice is safe to adopt.
+	// Accepted is the weighted-majority outcome: the advice is safe to
+	// adopt.
 	Accepted bool
 }
 
 // Consult performs the full Fig. 1 interaction: fetch the announcement,
-// fan it out to every trusted verifier, majority-vote the verdicts (updating
-// reputations), and report the inventor to the reputation system when the
-// majority rejects its proof.
+// fan it out to every trusted verifier, weighted-majority-vote the
+// verdicts (each vote counts in proportion to the verifier's current
+// reputation and moves it — the same reputation.WeightedVote the quorum
+// client uses, with the same deterministic tie-breaking: a weight tie
+// falls back to raw counts, and only a double tie errors), and report the
+// inventor to the reputation system when the vote rejects its proof. A
+// verifier that has lied before therefore cannot out-vote a trusted one
+// merely by showing up with accomplices: earned trust, not head count,
+// decides what the agent acts on.
 func (a *Agent) Consult(ctx context.Context) (*ConsultResult, error) {
 	req, err := transport.NewMessage(MsgAnnounce, struct{}{})
 	if err != nil {
@@ -286,13 +293,13 @@ func (a *Agent) Consult(ctx context.Context) (*ConsultResult, error) {
 		return nil, fmt.Errorf("core: every verifier failed to answer")
 	}
 
-	accepted, err := a.registry.MajorityVote(votes)
+	accepted, err := a.registry.WeightedVote(votes)
 	if err != nil {
 		return nil, fmt.Errorf("core: no usable majority: %w", err)
 	}
 	if !accepted {
 		a.registry.ReportMisbehaviour(ann.InventorID,
-			fmt.Sprintf("agent %s: majority of %d verifiers rejected the %s proof",
+			fmt.Sprintf("agent %s: weighted majority of %d verifiers rejected the %s proof",
 				a.name, len(votes), ann.Format))
 	}
 	return &ConsultResult{Announcement: ann, Verdicts: verdicts, Accepted: accepted}, nil

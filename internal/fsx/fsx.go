@@ -1,0 +1,32 @@
+// Package fsx holds the filesystem durability helpers the verdict store
+// and the identity keyfile writer share. Policies like "how to fsync a
+// directory" are platform lore (which errno means the filesystem simply
+// cannot do it?); keeping one copy means a future quirk gets fixed for
+// every writer at once instead of for whichever copy the fixer happened
+// to find.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// SyncDir fsyncs a directory so a just-renamed (or just-linked) file's
+// directory entry is durable. The error matters to callers that order a
+// destructive step after the rename (the store truncates its tail only
+// once the snapshot's entry is durable). Filesystems that genuinely
+// cannot sync directories (EINVAL) are excused — rename durability there
+// is as good as the platform gets.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("fsx: syncing dir: %w", err)
+	}
+	return nil
+}

@@ -140,9 +140,12 @@ func (h Hash) Prefix64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
 // Envelope is a signed payload: the binding a reputation report can carry as
 // evidence.
 type Envelope struct {
-	Signer    PartyID `json:"signer"`
-	Payload   []byte  `json:"payload"`
-	Signature []byte  `json:"signature"`
+	// Signer is the self-certifying identity that sealed the envelope.
+	Signer PartyID `json:"signer"`
+	// Payload is the signed message body.
+	Payload []byte `json:"payload"`
+	// Signature is the Ed25519 signature of Payload under Signer's key.
+	Signature []byte `json:"signature"`
 }
 
 // Seal signs the payload into an envelope.

@@ -1,0 +1,174 @@
+package identity
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rationality/internal/fsx"
+)
+
+// Keyfile format: one line of hex, the 32-byte Ed25519 seed, written with
+// 0600 permissions. The seed (not the expanded private key) is what is
+// persisted because ed25519.NewKeyFromSeed reconstructs the full key pair
+// deterministically, and a single canonical encoding keeps the file
+// trivially auditable ("is this 64 hex characters?") and diffable across
+// tooling.
+
+// keyFilePerm is the permission mode for saved keyfiles; the seed is the
+// authority's whole signing identity, so group/other access is never
+// acceptable.
+const keyFilePerm = 0o600
+
+// writeSeedTemp writes the key pair's seed to a process-unique temp file
+// next to path (hex, one line, 0600) and fsyncs it, returning the temp
+// path. The caller installs it with rename (overwrite) or link
+// (exclusive claim); either way the bytes are durable before the file
+// can become visible under its final name, so a crash never exposes a
+// truncated seed.
+func writeSeedTemp(path string, k *KeyPair) (string, error) {
+	data := hex.EncodeToString(k.priv.Seed()) + "\n"
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, keyFilePerm)
+	if err != nil {
+		return "", fmt.Errorf("identity: creating keyfile: %w", err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("identity: writing keyfile: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("identity: syncing keyfile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("identity: closing keyfile: %w", err)
+	}
+	return tmp, nil
+}
+
+// SaveKeyFile writes the key pair's seed to path (hex, one line, 0600).
+// The write is atomic and durable — temp file, fsync, rename, directory
+// fsync — so a crash (or power loss) mid-save never leaves a truncated
+// seed: the file is either the old identity or the complete new one. A
+// half-written keyfile would be worse than none, because the
+// never-regenerate policy makes the operator clean it up by hand.
+func SaveKeyFile(path string, k *KeyPair) error {
+	tmp, err := writeSeedTemp(path, k)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("identity: installing keyfile: %w", err)
+	}
+	return fsx.SyncDir(filepath.Dir(path))
+}
+
+// LoadKeyFile reads a key pair saved by SaveKeyFile. A malformed file is
+// an error, never a silently regenerated identity: an authority that
+// changes its key unannounced would be rejected by every peer that
+// allowlisted the old one.
+func LoadKeyFile(path string) (*KeyPair, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("identity: reading keyfile: %w", err)
+	}
+	seedHex := strings.TrimSpace(string(data))
+	seed, err := hex.DecodeString(seedHex)
+	if err != nil || len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("identity: keyfile %s: want %d hex-encoded seed bytes, got %d characters",
+			path, ed25519.SeedSize, len(seedHex))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &KeyPair{pub: priv.Public().(ed25519.PublicKey), priv: priv}, nil
+}
+
+// LoadOrCreateKeyFile loads the keyfile at path, generating and saving a
+// fresh identity when the file does not exist yet. The returned flag
+// reports whether a new key was created — the caller's cue to tell the
+// operator to distribute the new public ID to peers. A file that exists
+// but cannot be parsed is an error, not a regeneration trigger.
+//
+// Creation is race-free: the fresh seed is installed with an exclusive
+// hard link, so when two processes race the first start (a keygen beside
+// an auto-generating verifier, say), exactly one identity wins and the
+// loser loads it — nobody ever signs as a key that is not the one on
+// disk.
+func LoadOrCreateKeyFile(path string) (*KeyPair, bool, error) {
+	k, err := LoadKeyFile(path)
+	if err == nil {
+		return k, false, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return nil, false, err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, false, fmt.Errorf("identity: creating keyfile dir: %w", err)
+		}
+	}
+	k, err = NewKeyPair()
+	if err != nil {
+		return nil, false, err
+	}
+	tmp, err := writeSeedTemp(path, k)
+	if err != nil {
+		return nil, false, err
+	}
+	defer os.Remove(tmp)
+	// Link claims the final name if and only if it does not exist yet; a
+	// loser's EEXIST means the winner's fully-synced file is already
+	// there to load.
+	if err := os.Link(tmp, path); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			k, err = LoadKeyFile(path)
+			return k, false, err
+		}
+		return nil, false, fmt.Errorf("identity: installing keyfile: %w", err)
+	}
+	return k, true, fsx.SyncDir(filepath.Dir(path))
+}
+
+// ParsePartyID validates a string as a well-formed party identifier (the
+// hex encoding of an Ed25519 public key) and returns it typed. Operator
+// inputs — peer allowlists, config files — go through this so a typo'd
+// key is refused at startup instead of silently never matching a signer.
+func ParsePartyID(s string) (PartyID, error) {
+	s = strings.TrimSpace(s)
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != ed25519.PublicKeySize {
+		return "", fmt.Errorf("identity: malformed party ID %q: want %d hex-encoded public-key bytes",
+			s, ed25519.PublicKeySize)
+	}
+	// Re-encode so the canonical (lower-case) form is what gets compared
+	// against Signer fields, which KeyPair.ID always emits lower-case.
+	return PartyID(hex.EncodeToString(raw)), nil
+}
+
+// syncDeltaDomain separates anti-entropy delta signatures from every other
+// message an authority key signs (announcements, envelopes): a signature
+// captured in one protocol can never be replayed as a valid message of
+// another.
+const syncDeltaDomain = "rationality/sync-delta/v2"
+
+// SyncDeltaDigest is the canonical byte string an authority signs over one
+// anti-entropy sync-delta: the domain tag, the digest of the offer
+// manifest being answered, the framed record bytes, and the responder's
+// own party ID. Binding the offer digest makes a captured delta worthless
+// against any other offer (replay protection); binding the responder ID
+// stops a valid delta from being re-attributed to another signer. Both
+// sides compute this independently — the responder over the offer it
+// received, the requester over the offer it sent — so the signature check
+// fails unless they agree on every byte that matters.
+func SyncDeltaDigest(offerDigest Hash, records []byte, responder PartyID) []byte {
+	h := DigestBytes([]byte(syncDeltaDomain), offerDigest[:], records, []byte(responder))
+	return h[:]
+}

@@ -1,0 +1,117 @@
+package identity
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "identity.key")
+	k, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeyFile(path, k); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != keyFilePerm {
+		t.Fatalf("keyfile permissions = %o, want %o", perm, keyFilePerm)
+	}
+	loaded, err := LoadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ID() != k.ID() {
+		t.Fatalf("loaded identity %s != saved %s", loaded.ID(), k.ID())
+	}
+	// The reloaded key must produce signatures the original ID verifies.
+	msg := []byte("same key, same signatures")
+	if err := Verify(k.ID(), msg, loaded.Sign(msg)); err != nil {
+		t.Fatalf("signature from reloaded key rejected: %v", err)
+	}
+}
+
+func TestLoadOrCreateKeyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "identity.key")
+	k1, created, err := LoadOrCreateKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first call must create the keyfile")
+	}
+	k2, created, err := LoadOrCreateKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("second call must load, not re-create")
+	}
+	if k1.ID() != k2.ID() {
+		t.Fatalf("identity changed across loads: %s != %s", k1.ID(), k2.ID())
+	}
+}
+
+func TestLoadKeyFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "identity.key")
+	for _, content := range []string{"", "not hex at all", "abcd"} {
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadKeyFile(path); err == nil {
+			t.Fatalf("LoadKeyFile accepted %q", content)
+		}
+		// A corrupt keyfile must never be silently replaced: the old
+		// public ID may already be on peers' allowlists.
+		if _, created, err := LoadOrCreateKeyFile(path); err == nil || created {
+			t.Fatalf("LoadOrCreateKeyFile regenerated over %q (created=%v, err=%v)",
+				content, created, err)
+		}
+	}
+}
+
+func TestParsePartyID(t *testing.T) {
+	k, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ParsePartyID("  " + string(k.ID()) + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != k.ID() {
+		t.Fatalf("ParsePartyID = %s, want %s", id, k.ID())
+	}
+	for _, bad := range []string{"", "zz", string(k.ID())[:10], string(k.ID()) + "00"} {
+		if _, err := ParsePartyID(bad); err == nil {
+			t.Fatalf("ParsePartyID accepted %q", bad)
+		}
+	}
+}
+
+func TestSyncDeltaDigestBindsEveryInput(t *testing.T) {
+	offer := DigestBytes([]byte("offer-a"))
+	otherOffer := DigestBytes([]byte("offer-b"))
+	records := []byte("framed records")
+	base := SyncDeltaDigest(offer, records, "responder-1")
+	if !bytes.Equal(base, SyncDeltaDigest(offer, records, "responder-1")) {
+		t.Fatal("digest is not deterministic")
+	}
+	variants := [][]byte{
+		SyncDeltaDigest(otherOffer, records, "responder-1"),
+		SyncDeltaDigest(offer, []byte("other records"), "responder-1"),
+		SyncDeltaDigest(offer, records, "responder-2"),
+	}
+	for i, v := range variants {
+		if bytes.Equal(base, v) {
+			t.Fatalf("variant %d collides with base digest: changing an input must change the digest", i)
+		}
+	}
+}

@@ -129,10 +129,11 @@ type Result struct {
 	Verdict core.Verdict
 	// Votes holds every answering member's vote, sorted by VerifierID.
 	Votes []Vote
-	// Dissents counts votes against the outcome; Abstained lists members
-	// that failed to answer (unreachable, timed out, erred) and therefore
-	// neither voted nor moved their reputation, sorted by ID.
-	Dissents  int
+	// Dissents counts votes against the outcome.
+	Dissents int
+	// Abstained lists members that failed to answer (unreachable, timed
+	// out, erred) and therefore neither voted nor moved their reputation,
+	// sorted by ID.
 	Abstained []string
 }
 

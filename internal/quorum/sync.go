@@ -5,21 +5,24 @@ import (
 	"fmt"
 
 	"rationality/internal/service"
-	"rationality/internal/store"
 	"rationality/internal/transport"
 )
 
 // Pull performs one anti-entropy round against a single peer: it offers
 // the local service's verdict-log manifest ("sync-offer"), receives the
 // framed records the peer holds and the local log lacks ("sync-delta"),
-// verifies each record's CRC32C frame, and ingests the survivors —
-// newest stamp per key winning — into the local log and cache. It
+// and hands the reply to the service's federation gate
+// (service.IngestDelta), which verifies the delta's Ed25519 signature
+// against the peer allowlist, checks each record's CRC32C frame, stamps
+// the signer's identity onto the survivors as provenance, and ingests
+// them — newest stamp per key winning — into the local log and cache. It
 // returns how many records were applied.
 //
 // Pull is one direction of the exchange by design: each verifier pulls
 // what it is missing on its own cadence (cmd/authority's -peers loop), so
 // after every pair has pulled from every other, the quorum's logs agree.
-// A failed peer costs the round an error, never local state.
+// A failed peer — or one whose delta the gate rejects — costs the round
+// an error, never local state.
 func Pull(ctx context.Context, svc *service.Service, peer transport.Client) (int, error) {
 	offer, err := svc.SyncOffer()
 	if err != nil {
@@ -40,12 +43,9 @@ func Pull(ctx context.Context, svc *service.Service, peer transport.Client) (int
 	if err := resp.Decode(&delta); err != nil {
 		return 0, err
 	}
-	recs, err := store.DecodeRecords(delta.Records)
-	if err != nil {
-		// A frame that fails its checksum means a corrupt transfer or a
-		// misbehaving peer; nothing before the bad frame is trusted
-		// either — the peer re-sends the whole delta next round.
-		return 0, fmt.Errorf("quorum: delta from %q: %w", delta.VerifierID, err)
-	}
-	return svc.Ingest(recs)
+	// The gate rejects before ingest: an unsigned or mis-signed delta (or
+	// a corrupt frame — a bad peer or transport, since nothing crashed
+	// here) leaves the local log untouched, and the peer re-serves the
+	// whole delta next round.
+	return svc.IngestDelta(offer, delta)
 }

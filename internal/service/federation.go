@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rationality/internal/identity"
+)
+
+// Federation: the trust machinery that lets anti-entropy cross an
+// operator boundary. A keyed service signs every sync-delta it serves
+// (over the canonical digest of the offer it answers, the framed records,
+// and its own party ID — identity.SyncDeltaDigest), and a service with a
+// peer allowlist verifies every delta it pulls before a single byte
+// reaches the store: unsigned deltas, unknown signers and bad signatures
+// are rejected and counted, never ingested. Within one operator's fleet
+// both knobs can stay off and anti-entropy behaves exactly as before.
+
+// Federation rejection errors. They surface verbatim in the verifier's
+// anti-entropy log lines, so the README failure-mode table quotes them.
+var (
+	// ErrUnsignedDelta rejects a delta with no signature from a service
+	// that requires federation provenance (Config.PeerKeys set).
+	ErrUnsignedDelta = errors.New("service: unsigned sync-delta refused: this authority only federates with allowlisted peers")
+	// ErrUnknownSigner rejects a delta signed by a key outside the
+	// allowlist.
+	ErrUnknownSigner = errors.New("service: sync-delta signer is not on this authority's peer allowlist")
+)
+
+// PeerSyncStats counts one federation peer's anti-entropy outcomes, keyed
+// by the peer's signing identity in FederationStats.Peers.
+type PeerSyncStats struct {
+	// Deltas counts this peer's deltas that passed verification and were
+	// handed to the store; Records the records they applied (stale offers
+	// that lost newest-stamp-wins are not counted).
+	Deltas  uint64 `json:"deltas"`
+	Records uint64 `json:"records"`
+	// Rejected counts this peer's deltas refused before ingest — bad
+	// signature, unlisted key, or corrupt record frames.
+	Rejected uint64 `json:"rejected"`
+}
+
+// FederationStats is the trust-boundary half of a service's Stats: who
+// this authority signs as, whom it accepts deltas from, and every
+// rejection bucket an operator needs to tell a key mismatch from an
+// attack from a stale config.
+type FederationStats struct {
+	// Signer is this service's own signing identity; empty when no key is
+	// configured (deltas served unsigned).
+	Signer identity.PartyID `json:"signer,omitempty"`
+	// TrustedPeers is the allowlist size; zero means every peer is
+	// accepted (intra-operator mode).
+	TrustedPeers int `json:"trustedPeers"`
+	// RejectedUnsigned / RejectedUnknown / RejectedBadSig / RejectedCorrupt
+	// partition refused deltas by cause: no signature at all, a signer
+	// outside the allowlist, a signature that does not verify (forgery,
+	// replay against a different offer, or a rotated key the peer list
+	// missed), and record frames that fail their checksums.
+	RejectedUnsigned uint64 `json:"rejectedUnsigned"`
+	RejectedUnknown  uint64 `json:"rejectedUnknown"`
+	RejectedBadSig   uint64 `json:"rejectedBadSig"`
+	RejectedCorrupt  uint64 `json:"rejectedCorrupt"`
+	// Peers breaks accepted and rejected deltas down by signer identity.
+	Peers map[string]PeerSyncStats `json:"peers,omitempty"`
+}
+
+// federation holds the service's signing key, the peer allowlist, and the
+// acceptance/rejection counters. Counter updates take a plain mutex: they
+// happen at anti-entropy cadence (one per pulled delta), never on the
+// verification hot path.
+type federation struct {
+	key   *identity.KeyPair
+	allow map[identity.PartyID]bool
+
+	mu               sync.Mutex
+	rejectedUnsigned uint64
+	rejectedUnknown  uint64
+	rejectedBadSig   uint64
+	rejectedCorrupt  uint64
+	peers            map[identity.PartyID]*PeerSyncStats
+}
+
+// newFederation validates the federation config. A nil return means the
+// service runs unfederated (no key, no allowlist) and Stats carries no
+// federation section.
+func newFederation(key *identity.KeyPair, peerKeys []identity.PartyID) (*federation, error) {
+	if key == nil && len(peerKeys) == 0 {
+		return nil, nil
+	}
+	f := &federation{key: key, peers: make(map[identity.PartyID]*PeerSyncStats)}
+	if len(peerKeys) > 0 {
+		f.allow = make(map[identity.PartyID]bool, len(peerKeys))
+		for _, pk := range peerKeys {
+			canonical, err := identity.ParsePartyID(string(pk))
+			if err != nil {
+				return nil, fmt.Errorf("service: peer allowlist: %w", err)
+			}
+			f.allow[canonical] = true
+		}
+	}
+	return f, nil
+}
+
+// peer returns the counter slot for a signer, creating it on first use.
+// Callers hold f.mu.
+func (f *federation) peer(id identity.PartyID) *PeerSyncStats {
+	p := f.peers[id]
+	if p == nil {
+		p = &PeerSyncStats{}
+		f.peers[id] = p
+	}
+	return p
+}
+
+// countAccept records one verified delta and how many records it applied.
+// Unsigned deltas admitted without an allowlist carry no signer to
+// attribute them to — they stay out of the per-peer table (a blank-ID row
+// would read as corrupted stats) and remain visible as Stats.Ingested.
+func (f *federation) countAccept(signer identity.PartyID, records int) {
+	if signer == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.peer(signer)
+	p.Deltas++
+	p.Records += uint64(records)
+}
+
+// countReject records one refused delta under the given cause bucket,
+// attributing it to the claimed signer when one was named.
+func (f *federation) countReject(signer identity.PartyID, bucket *uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	*bucket++
+	if signer != "" {
+		f.peer(signer).Rejected++
+	}
+}
+
+// snapshot assembles the FederationStats view.
+func (f *federation) snapshot() *FederationStats {
+	st := &FederationStats{TrustedPeers: len(f.allow)}
+	if f.key != nil {
+		st.Signer = f.key.ID()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st.RejectedUnsigned = f.rejectedUnsigned
+	st.RejectedUnknown = f.rejectedUnknown
+	st.RejectedBadSig = f.rejectedBadSig
+	st.RejectedCorrupt = f.rejectedCorrupt
+	if len(f.peers) > 0 {
+		st.Peers = make(map[string]PeerSyncStats, len(f.peers))
+		for id, p := range f.peers {
+			st.Peers[string(id)] = *p
+		}
+	}
+	return st
+}
+
+// offerDigest is the canonical content address of a sync-offer: the
+// requester's ID plus every manifest entry (key, stamp, sum) in key
+// order. The responder computes it over the offer as received and signs
+// it into the delta; the requester computes it over the offer it sent and
+// verifies — so a delta is cryptographically bound to exactly one offer,
+// and capturing a signed delta buys a forger nothing against any other
+// exchange. Sorting makes the digest independent of manifest order, which
+// a JSON round trip preserves anyway but nothing should have to rely on.
+func offerDigest(offer *SyncOfferRequest) identity.Hash {
+	entries := make([]SyncEntry, len(offer.Have))
+	copy(entries, offer.Have)
+	sort.Slice(entries, func(i, j int) bool {
+		return string(entries[i].Key) < string(entries[j].Key)
+	})
+	buf := make([]byte, 0, len(entries)*(32+8+4))
+	for _, e := range entries {
+		buf = append(buf, e.Key...)
+		buf = binary.BigEndian.AppendUint64(buf, e.Stamp)
+		buf = binary.BigEndian.AppendUint32(buf, e.Sum)
+	}
+	return identity.DigestBytes([]byte("rationality/sync-offer/v2"), []byte(offer.VerifierID), buf)
+}

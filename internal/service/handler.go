@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rationality/internal/core"
+	"rationality/internal/identity"
 	"rationality/internal/transport"
 )
 
@@ -44,13 +45,22 @@ type SyncOfferRequest struct {
 }
 
 // SyncDeltaResponse carries the records the requester was missing, framed
-// with the verdict log's own length-prefixed CRC32C record layout
-// (store.EncodeRecords), so the transfer is integrity-checked record by
-// record before a single one is ingested.
+// with the verdict log's own version-headed, length-prefixed CRC32C
+// record layout (store.EncodeRecords), so the transfer is
+// integrity-checked record by record before a single one is ingested.
+// A keyed responder also signs the transfer: Signer is its Ed25519 party
+// ID and Signature covers identity.SyncDeltaDigest(offer digest, Records,
+// Signer) — authenticity and replay-binding on top of the CRC's
+// integrity, which is what lets the requester gate ingestion on a peer
+// allowlist (service.IngestDelta).
 type SyncDeltaResponse struct {
 	VerifierID string `json:"verifierId"`
 	Count      int    `json:"count"`
 	Records    []byte `json:"records,omitempty"`
+	// Signer / Signature authenticate the transfer; both empty on an
+	// unkeyed (single-operator) responder.
+	Signer    identity.PartyID `json:"signer,omitempty"`
+	Signature []byte           `json:"signature,omitempty"`
 }
 
 // BatchVerifyRequest asks the service to verify a slice of announcements.

@@ -163,6 +163,11 @@ type Stats struct {
 	// persisted/replayed/compacted records, queue drops, salvage — and
 	// is nil when persistence is disabled (no Config.PersistPath).
 	Persistence *store.Stats `json:"persistence,omitempty"`
+	// Federation reports the signed anti-entropy trust boundary: this
+	// authority's signing identity, the allowlist size, per-peer
+	// accepted/rejected delta counters and the rejection cause buckets.
+	// Nil when neither Config.Key nor Config.PeerKeys is set.
+	Federation *FederationStats `json:"federation,omitempty"`
 }
 
 // snapshot assembles a Stats value from the live counters. Counters are

@@ -91,6 +91,17 @@ type Config struct {
 	// (maximum durability, one syscall per fresh verdict). Ignored when
 	// PersistPath is empty.
 	SyncEvery int
+	// Key, when non-nil, is this authority's signing identity: every
+	// sync-delta served to a peer is Ed25519-signed over the canonical
+	// delta digest, and locally verified verdicts are persisted with the
+	// key's party ID as their provenance.
+	Key *identity.KeyPair
+	// PeerKeys, when non-empty, is the federation allowlist: sync-deltas
+	// pulled from peers must be signed by one of these party IDs (hex
+	// Ed25519 public keys) or they are rejected — and counted — before
+	// the store sees a byte. Empty means any peer's delta is accepted
+	// (the intra-operator trust model of a single-fleet deployment).
+	PeerKeys []identity.PartyID
 }
 
 // Service is a concurrent, cached verification authority. It is safe for
@@ -103,6 +114,10 @@ type Service struct {
 	metrics metrics
 	rep     *reputation.Registry
 	workers int
+
+	// fed, when non-nil, is the federation trust layer: signing key,
+	// peer allowlist, and per-peer acceptance/rejection counters.
+	fed *federation
 
 	// store, when non-nil, is the durable verdict log. Fresh verdicts
 	// are handed to it with one non-blocking channel send right after
@@ -172,6 +187,11 @@ func New(cfg Config) (*Service, error) {
 		execs:   make(chan func()),
 		drained: make(chan struct{}),
 	}
+	fed, err := newFederation(cfg.Key, cfg.PeerKeys)
+	if err != nil {
+		return nil, err
+	}
+	s.fed = fed
 	if cfg.PersistPath != "" {
 		if cfg.CacheSize < 0 {
 			// Persistence exists to warm-start the cache; with caching
@@ -198,6 +218,10 @@ func New(cfg Config) (*Service, error) {
 			SyncEvery: cfg.SyncEvery,
 			MaxLive:   cacheSize,
 			Retain:    s.cache.Contains,
+			// Every fresh verdict is persisted under this authority's own
+			// signing identity, so provenance is answerable even for
+			// records that never crossed a wire.
+			Origin: signerID(cfg.Key),
 			// Compact once the live set outgrows the cache by a
 			// quarter: the surplus a warm start may have to trim stays
 			// proportional to the cache, and each compaction re-ranks
@@ -248,6 +272,14 @@ func (s *Service) worker() {
 	}
 }
 
+// signerID is the party ID of an optional key (empty for nil).
+func signerID(k *identity.KeyPair) identity.PartyID {
+	if k == nil {
+		return ""
+	}
+	return k.ID()
+}
+
 // ID returns the verifier identity this service answers as.
 func (s *Service) ID() string { return s.id }
 
@@ -268,6 +300,9 @@ func (s *Service) Stats() Stats {
 		// really does imply those N announcements are hits.
 		ps.Replayed = s.replayed
 		st.Persistence = &ps
+	}
+	if s.fed != nil {
+		st.Federation = s.fed.snapshot()
 	}
 	return st
 }

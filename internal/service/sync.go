@@ -43,7 +43,11 @@ func (s *Service) SyncOffer() (SyncOfferRequest, error) {
 
 // ServeSyncOffer answers a peer's sync-offer with the framed records this
 // service's log holds and the peer's manifest lacks (missing key, or
-// older stamp). The handler wires it to the "sync-offer" message.
+// older stamp). A keyed service signs the delta — over the canonical
+// digest of the offer it answers, the framed records, and its own party
+// ID — so the requester can verify both who served the transfer and that
+// it was served for *this* offer (a captured delta replays against no
+// other exchange). The handler wires it to the "sync-offer" message.
 func (s *Service) ServeSyncOffer(offer SyncOfferRequest) (SyncDeltaResponse, error) {
 	if s.store == nil {
 		return SyncDeltaResponse{}, ErrNoStore
@@ -64,7 +68,103 @@ func (s *Service) ServeSyncOffer(offer SyncOfferRequest) (SyncDeltaResponse, err
 		return SyncDeltaResponse{}, err
 	}
 	s.metrics.deltasServed.Add(1)
-	return SyncDeltaResponse{VerifierID: s.id, Count: len(delta), Records: framed}, nil
+	resp := SyncDeltaResponse{VerifierID: s.id, Count: len(delta), Records: framed}
+	if s.fed != nil && s.fed.key != nil {
+		resp.Signer = s.fed.key.ID()
+		resp.Signature = s.fed.key.Sign(identity.SyncDeltaDigest(offerDigest(&offer), framed, resp.Signer))
+	}
+	return resp, nil
+}
+
+// Provenance summarizes the durable log by vouching authority: how many
+// live records each origin party ID accounts for. Locally verified
+// verdicts appear under this service's own key (or the empty ID when
+// unkeyed); records pulled from federation peers appear under the key
+// that signed their transfer. It answers the operator question "whose
+// word am I serving?" without a disk scan.
+func (s *Service) Provenance() (map[identity.PartyID]uint64, error) {
+	if s.store == nil {
+		return nil, ErrNoStore
+	}
+	return s.store.Provenance()
+}
+
+// IngestDelta is the federation gate in front of Ingest: it verifies a
+// pulled sync-delta's provenance against the peer allowlist, decodes the
+// record frames, stamps the signer's identity onto them as origin, and
+// only then lets the store see them. Rejections — unsigned deltas when an
+// allowlist is configured, signers outside it, signatures that do not
+// verify (forgery, replay against a different offer, a rotated key), and
+// corrupt frames — are counted per cause and per claimed signer in
+// Stats().Federation, and nothing is ingested. offer must be the exact
+// offer this delta answered: the signature is bound to it.
+//
+// Without an allowlist a signature is still checked when present (a
+// claimed identity must be provable), but unsigned deltas pass — the
+// single-operator trust model anti-entropy shipped with.
+func (s *Service) IngestDelta(offer SyncOfferRequest, delta SyncDeltaResponse) (int, error) {
+	if s.store == nil {
+		return 0, ErrNoStore
+	}
+	if s.fed != nil {
+		if err := s.fed.admit(&offer, &delta); err != nil {
+			return 0, err
+		}
+	} else if delta.Signer != "" || len(delta.Signature) != 0 {
+		// No federation config, but the peer claims an identity: a claim
+		// that cannot be proven must not become on-disk provenance, so
+		// the signature is verified here too — the only difference an
+		// allowlist makes is *which* provable identities are accepted.
+		digest := identity.SyncDeltaDigest(offerDigest(&offer), delta.Records, delta.Signer)
+		if err := identity.Verify(delta.Signer, digest, delta.Signature); err != nil {
+			return 0, fmt.Errorf("service: sync-delta from signer %s (peer %q): %w", delta.Signer, delta.VerifierID, err)
+		}
+	}
+	recs, err := store.DecodeRecords(delta.Records)
+	if err != nil {
+		// The transfer-level signature already verified (when present), so
+		// a bad frame here means the *responder* served bytes it should
+		// not have signed — still a rejection worth counting against it.
+		if s.fed != nil {
+			s.fed.countReject(delta.Signer, &s.fed.rejectedCorrupt)
+		}
+		return 0, err
+	}
+	// The signing peer vouches for this transfer: its (verified) identity
+	// is the provenance every applied record carries to disk, whatever
+	// custody chain the peer's own copy claimed. An unsigned transfer
+	// proves nothing, so whatever origins its frames claim are cleared
+	// rather than persisted — unattributed beats fabricated.
+	for i := range recs {
+		recs[i].Origin = delta.Signer
+	}
+	n, err := s.Ingest(recs)
+	if s.fed != nil && err == nil {
+		s.fed.countAccept(delta.Signer, n)
+	}
+	return n, err
+}
+
+// admit enforces the allowlist and signature rules on one pulled delta.
+func (f *federation) admit(offer *SyncOfferRequest, delta *SyncDeltaResponse) error {
+	unsigned := delta.Signer == "" && len(delta.Signature) == 0
+	if unsigned {
+		if len(f.allow) == 0 {
+			return nil // no allowlist: unsigned intra-operator sync is fine
+		}
+		f.countReject("", &f.rejectedUnsigned)
+		return fmt.Errorf("%w (peer %q)", ErrUnsignedDelta, delta.VerifierID)
+	}
+	if len(f.allow) > 0 && !f.allow[delta.Signer] {
+		f.countReject(delta.Signer, &f.rejectedUnknown)
+		return fmt.Errorf("%w: signer %s (peer %q)", ErrUnknownSigner, delta.Signer, delta.VerifierID)
+	}
+	digest := identity.SyncDeltaDigest(offerDigest(offer), delta.Records, delta.Signer)
+	if err := identity.Verify(delta.Signer, digest, delta.Signature); err != nil {
+		f.countReject(delta.Signer, &f.rejectedBadSig)
+		return fmt.Errorf("service: sync-delta from signer %s (peer %q): %w", delta.Signer, delta.VerifierID, err)
+	}
+	return nil
 }
 
 // Ingest merges records pulled from a peer into the durable log

@@ -2,13 +2,12 @@ package store
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"syscall"
 
+	"rationality/internal/fsx"
 	"rationality/internal/identity"
 )
 
@@ -66,6 +65,10 @@ func (s *Store) compact() {
 	}
 	if err := s.tail.Truncate(0); err != nil {
 		s.flushErr = fmt.Errorf("store: truncating tail: %w", err)
+		return
+	}
+	if _, err := s.tail.Write(segmentHeader); err != nil {
+		s.flushErr = fmt.Errorf("store: writing tail header: %w", err)
 		return
 	}
 	if err := s.tail.Sync(); err != nil {
@@ -156,6 +159,9 @@ func (s *Store) writeSnapshot(live map[identity.Hash]*Record) error {
 	}
 	defer tmp.Close() // no-op after the explicit Close below
 	w := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := w.Write(segmentHeader); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
+	}
 	buf := s.buf[:0]
 	for _, r := range live {
 		if buf, _, err = appendRecord(buf[:0], r); err != nil {
@@ -178,23 +184,8 @@ func (s *Store) writeSnapshot(live map[identity.Hash]*Record) error {
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
-	return syncDir(s.dir)
-}
-
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. The error matters: compaction truncates the tail only after
-// this succeeds, because a durable truncation paired with a non-durable
-// rename would lose the whole live set on a crash. Filesystems that
-// genuinely cannot sync directories (EINVAL) are excused — rename
-// durability there is as good as the platform gets.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: opening dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
-		return fmt.Errorf("store: syncing dir: %w", err)
-	}
-	return nil
+	// Compaction truncates the tail only after the snapshot's directory
+	// entry is durable: a durable truncation paired with a non-durable
+	// rename would lose the whole live set on a crash.
+	return fsx.SyncDir(s.dir)
 }

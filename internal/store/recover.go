@@ -21,25 +21,34 @@ const (
 )
 
 // replaySegment streams records out of r, calling fn for each valid one,
-// and returns the byte length of the valid prefix. clean is false when the
+// and returns the byte length of the valid prefix (version header
+// included) plus the segment's format version. clean is false when the
 // segment ends in a torn or corrupt frame — everything from validBytes on
 // is untrustworthy, because record boundaries cannot be re-found past a
-// bad length field. A non-nil error is a real I/O failure, not corruption.
-func replaySegment(r io.Reader, fn func(*Record)) (validBytes int64, clean bool, err error) {
+// bad length field. A non-nil error is a real I/O failure or an unknown
+// segment version, not corruption.
+func replaySegment(r io.Reader, fn func(*Record)) (validBytes int64, clean bool, version int, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	version, err = sniffVersion(br)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if version >= segmentV2 {
+		validBytes = segmentHeaderLen
+	}
 	var rec Record
 	for {
-		n, err := readRecord(br, &rec)
+		n, err := readRecord(br, &rec, version)
 		switch err {
 		case nil:
 			validBytes += int64(n)
 			fn(&rec)
 		case io.EOF:
-			return validBytes, true, nil
+			return validBytes, true, version, nil
 		case errTorn:
-			return validBytes, false, nil
+			return validBytes, false, version, nil
 		default:
-			return validBytes, false, err
+			return 0, false, version, err
 		}
 	}
 }
@@ -50,6 +59,11 @@ type recovery struct {
 	maxStamp uint64
 	total    uint64 // valid records seen across snapshot + tail
 	salvaged int64  // bytes truncated off a torn tail
+	// upgrade is set when a non-empty v1 (headerless, origin-less)
+	// segment was replayed: Open then rewrites the store in the current
+	// format before the flusher starts, so v2 is the only format ever
+	// appended to.
+	upgrade bool
 }
 
 // recoverDir replays snapshot + tail from dir, keeping the largest-stamp
@@ -71,10 +85,19 @@ func recoverDir(dir string) (*recovery, error) {
 		cp := *r
 		rec.live[r.Key] = &cp
 	}
-	if err := replayFile(filepath.Join(dir, snapshotName), absorb, nil); err != nil {
+	noteLegacy := func(version int, size int64) {
+		if version < segmentV2 && size > 0 {
+			rec.upgrade = true
+		}
+	}
+	if err := replayFile(filepath.Join(dir, snapshotName), absorb, func(valid, size int64, version int) error {
+		noteLegacy(version, size)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	if err := replayFile(filepath.Join(dir, tailName), absorb, func(valid int64, size int64) error {
+	if err := replayFile(filepath.Join(dir, tailName), absorb, func(valid, size int64, version int) error {
+		noteLegacy(version, size)
 		if valid < size {
 			rec.salvaged = size - valid
 			return os.Truncate(filepath.Join(dir, tailName), valid)
@@ -87,13 +110,14 @@ func recoverDir(dir string) (*recovery, error) {
 }
 
 // replayFile replays one segment file if it exists; after the replay,
-// onDone (when non-nil) receives the valid-prefix length and the file
-// size, so the caller can truncate a torn tail.
-func replayFile(path string, fn func(*Record), onDone func(valid, size int64) error) error {
+// onDone (when non-nil) receives the valid-prefix length, the file size
+// and the segment's format version, so the caller can truncate a torn
+// tail or note a legacy segment for upgrade.
+func replayFile(path string, fn func(*Record), onDone func(valid, size int64, version int) error) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		if onDone != nil {
-			return onDone(0, 0)
+			return onDone(0, 0, segmentV2)
 		}
 		return nil
 	}
@@ -105,12 +129,12 @@ func replayFile(path string, fn func(*Record), onDone func(valid, size int64) er
 	if err != nil {
 		return fmt.Errorf("store: stat %s: %w", filepath.Base(path), err)
 	}
-	valid, _, err := replaySegment(f, fn)
+	valid, _, version, err := replaySegment(f, fn)
 	if err != nil {
 		return fmt.Errorf("store: replaying %s: %w", filepath.Base(path), err)
 	}
 	if onDone != nil {
-		return onDone(valid, info.Size())
+		return onDone(valid, info.Size(), version)
 	}
 	return nil
 }

@@ -11,10 +11,11 @@ import (
 )
 
 // buildTail frames n records into a byte slice exactly as the flusher
-// would write them, returning the bytes and the framed length of each
-// record so tests can corrupt precise offsets.
+// would write them (version header first), returning the bytes and the
+// framed length of each record so tests can corrupt precise offsets.
 func buildTail(t *testing.T, n int) (data []byte, sizes []int) {
 	t.Helper()
+	data = append(data, segmentHeader...)
 	for i := 0; i < n; i++ {
 		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
 		before := len(data)
@@ -174,7 +175,7 @@ func TestRecoverTornSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	snapData, snapSizes := buildTail(t, 3)
 	// Stamp-shift a tail with 2 newer records for different keys.
-	var tail []byte
+	tail := append([]byte(nil), segmentHeader...)
 	for i := 10; i < 12; i++ {
 		rec := Record{Key: testKey(i), Stamp: uint64(i + 1), Verdict: testVerdict(i)}
 		var err error

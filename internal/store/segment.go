@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -12,39 +13,72 @@ import (
 	"rationality/internal/identity"
 )
 
-// Segment record framing. A segment file is a plain concatenation of
-// records, each independently checksummed so a reader can detect exactly
-// where a torn write begins:
+// Segment framing. A segment file is a five-byte version header followed
+// by a plain concatenation of records, each independently checksummed so
+// a reader can detect exactly where a torn write begins:
 //
 //	offset  size  field
 //	------  ----  -----------------------------------------------
+//	0       4     magic   "RVLS" (rationality verdict-log segment)
+//	4       1     version 2
+//	then per record:
 //	0       4     length  uint32 BE — byte length of the payload
 //	4       4     crc     uint32 BE — CRC32C (Castagnoli) of payload
 //	8       len   payload:
-//	          32     key    identity.Hash (raw SHA-256 content address)
-//	          8      stamp  uint64 BE (monotonic append sequence)
-//	          len-40 verdict (JSON-encoded core.Verdict)
+//	          32     key     identity.Hash (raw SHA-256 content address)
+//	          8      stamp   uint64 BE (monotonic append sequence)
+//	          2      olen    uint16 BE — byte length of origin
+//	          olen   origin  identity.PartyID of the vouching authority
+//	                         (hex Ed25519 public key; empty = unattributed)
+//	          rest   verdict (JSON-encoded core.Verdict)
 //
-// The CRC covers the whole payload (key, stamp and verdict), so a flipped
-// bit anywhere in a record is detected; the length prefix is implicitly
-// protected because a corrupted length makes the CRC check of the
-// mis-framed payload fail (except with probability 2^-32).
+// Version 1 segments — everything written before the federation change —
+// have no header and no origin column: the payload is key, stamp, verdict.
+// A reader distinguishes the formats by the magic: v1 could never start
+// with "RVLS" because a record's first four bytes are a big-endian length
+// far below 0x52564c53. v1 segments are read transparently (records come
+// back with an empty Origin) and upgraded to v2 the first time the store
+// opens them; v2 is the only format ever written.
+//
+// The CRC covers the whole payload (key, stamp, origin and verdict), so a
+// flipped bit anywhere in a record is detected; the length prefix is
+// implicitly protected because a corrupted length makes the CRC check of
+// the mis-framed payload fail (except with probability 2^-32).
 
 // crcTable is the Castagnoli polynomial table; CRC32C has hardware support
 // on amd64/arm64, so framing costs no measurable CPU next to the syscall.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// Segment format versions. segmentV1 is the legacy headerless layout
+// (no origin column); segmentV2 is the current layout.
 const (
+	segmentV1 = 1
+	segmentV2 = 2
+)
+
+// segmentHeader is the five-byte prefix of every written segment (and of
+// every wire-framed delta): the magic plus the current version.
+var segmentHeader = []byte{'R', 'V', 'L', 'S', segmentV2}
+
+const (
+	// segmentHeaderLen is the length of the per-file version header.
+	segmentHeaderLen = 5
 	// headerLen is the fixed per-record frame header: length + CRC.
 	headerLen = 8
 	// keyLen is the raw content-address length inside the payload.
 	keyLen = len(identity.Hash{})
 	// stampLen is the monotonic stamp length inside the payload.
 	stampLen = 8
-	// minPayload is the smallest well-formed payload: a key, a stamp and
-	// an empty verdict would still be longer, but the frame reader only
-	// needs to bound the length field before allocating.
-	minPayload = keyLen + stampLen
+	// originLenLen is the origin length prefix inside a v2 payload.
+	originLenLen = 2
+	// minPayloadV1 / minPayloadV2 bound the smallest well-formed payload
+	// per format version, so the frame reader can reject a length field
+	// before allocating.
+	minPayloadV1 = keyLen + stampLen
+	minPayloadV2 = keyLen + stampLen + originLenLen
+	// maxOrigin bounds the origin column. A party ID is 64 bytes of hex;
+	// anything much longer is corruption, not an identity.
+	maxOrigin = 256
 	// maxPayload bounds a single record. Announcements are wire messages
 	// (games, advice, proofs as JSON) and verdicts are small; a length
 	// beyond this is corruption, not data, and the reader must not
@@ -53,29 +87,37 @@ const (
 )
 
 // Record is one persisted verdict: the cache key, the monotonic append
-// stamp (larger = written later; recovery keeps the largest per key), and
+// stamp (larger = written later; recovery keeps the largest per key), the
+// identity of the authority that vouched for the record's entry into this
+// log (the local authority for fresh verdicts, the signing peer for
+// ingested ones; empty on unkeyed deployments and legacy v1 records), and
 // the verdict itself.
 type Record struct {
 	Key     identity.Hash
 	Stamp   uint64
+	Origin  identity.PartyID
 	Verdict core.Verdict
 }
 
-// idxEntry is one on-disk index line: the newest stamp a key holds and
-// the checksum of the verdict content at that stamp. The sum lets the
-// anti-entropy manifest distinguish "peer has newer content" from "peer
-// merely re-stamped identical content" (compaction's warmth re-ranking
-// does the latter on every pass), so stamp churn never causes a
-// re-transfer.
+// idxEntry is one on-disk index line: the newest stamp a key holds, the
+// checksum of the verdict content at that stamp, and the record's origin.
+// The sum lets the anti-entropy manifest distinguish "peer has newer
+// content" from "peer merely re-stamped identical content" (compaction's
+// warmth re-ranking does the latter on every pass), so stamp churn never
+// causes a re-transfer. The origin feeds the Provenance summary without a
+// disk scan.
 type idxEntry struct {
-	stamp uint64
-	sum   uint32
+	stamp  uint64
+	sum    uint32
+	origin identity.PartyID
 }
 
 // verdictSum is the content checksum the index and sync manifests carry:
 // CRC32C over the canonical JSON encoding of the verdict — the exact
 // bytes appendRecord frames, so every replica computes the same sum for
-// the same verdict regardless of which one first persisted it.
+// the same verdict regardless of which one first persisted it or which
+// authority's provenance it carries (the origin column is deliberately
+// excluded: replicas converge on verdict content, not on custody chains).
 func verdictSum(v *core.Verdict) uint32 {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -84,17 +126,21 @@ func verdictSum(v *core.Verdict) uint32 {
 	return crc32.Checksum(body, crcTable)
 }
 
-// appendRecord encodes a record onto buf and returns the extended slice
-// plus the verdict's content checksum (computed here, where the verdict
-// bytes already exist, so the index never pays a second marshal). The
-// frame is assembled in memory first so the file write is a single
-// contiguous append — the closest a userspace writer gets to atomicity.
+// appendRecord encodes a record onto buf in the v2 layout and returns the
+// extended slice plus the verdict's content checksum (computed here, where
+// the verdict bytes already exist, so the index never pays a second
+// marshal). The frame is assembled in memory first so the file write is a
+// single contiguous append — the closest a userspace writer gets to
+// atomicity.
 func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	body, err := json.Marshal(&r.Verdict)
 	if err != nil {
 		return buf, 0, fmt.Errorf("store: encoding verdict: %w", err)
 	}
-	payloadLen := minPayload + len(body)
+	if len(r.Origin) > maxOrigin {
+		return buf, 0, fmt.Errorf("store: origin of %d bytes exceeds the %d-byte bound", len(r.Origin), maxOrigin)
+	}
+	payloadLen := minPayloadV2 + len(r.Origin) + len(body)
 	if payloadLen > maxPayload {
 		return buf, 0, fmt.Errorf("store: verdict of %d bytes exceeds the %d-byte record bound", len(body), maxPayload)
 	}
@@ -102,6 +148,8 @@ func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	buf = append(buf, make([]byte, headerLen)...)
 	buf = append(buf, r.Key[:]...)
 	buf = binary.BigEndian.AppendUint64(buf, r.Stamp)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Origin)))
+	buf = append(buf, r.Origin...)
 	buf = append(buf, body...)
 	payload := buf[start+headerLen:]
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -114,11 +162,38 @@ func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 // valid prefix rather than a fatal store error.
 var errTorn = errors.New("store: torn or corrupt record")
 
-// readRecord decodes the next record from r and returns its framed size
-// in bytes. It returns io.EOF at a clean segment end, errTorn when the
-// next frame is short, over-long or fails its checksum, and any other
-// error verbatim (a real I/O failure).
-func readRecord(r io.Reader, rec *Record) (int, error) {
+// errVersion reports a segment or wire blob whose header names a format
+// version this code does not speak — refusing it outright beats guessing
+// at an unknown layout's record boundaries.
+var errVersion = errors.New("store: unsupported segment version")
+
+// sniffVersion peeks at the reader's first bytes and consumes the segment
+// header when one is present, returning the format version to read
+// records with. A stream that does not start with the magic is a legacy
+// v1 segment and is left unconsumed; a stream with the magic but an
+// unknown version is refused.
+func sniffVersion(br *bufio.Reader) (int, error) {
+	head, err := br.Peek(segmentHeaderLen)
+	if err != nil {
+		// Shorter than a header: whatever it is (empty file, torn v1
+		// record), the v1 record reader gives the right answer.
+		return segmentV1, nil
+	}
+	if string(head[:4]) != string(segmentHeader[:4]) {
+		return segmentV1, nil
+	}
+	if head[4] != segmentV2 {
+		return 0, fmt.Errorf("%w: %d", errVersion, head[4])
+	}
+	br.Discard(segmentHeaderLen)
+	return segmentV2, nil
+}
+
+// readRecord decodes the next record from r using the given format
+// version and returns its framed size in bytes. It returns io.EOF at a
+// clean segment end, errTorn when the next frame is short, over-long or
+// fails its checksum, and any other error verbatim (a real I/O failure).
+func readRecord(r io.Reader, rec *Record, version int) (int, error) {
 	var header [headerLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		if err == io.EOF {
@@ -128,6 +203,10 @@ func readRecord(r io.Reader, rec *Record) (int, error) {
 			return 0, errTorn // header itself is torn
 		}
 		return 0, err
+	}
+	minPayload := minPayloadV1
+	if version >= segmentV2 {
+		minPayload = minPayloadV2
 	}
 	length := int(binary.BigEndian.Uint32(header[:4]))
 	if length < minPayload || length > maxPayload {
@@ -145,8 +224,18 @@ func readRecord(r io.Reader, rec *Record) (int, error) {
 	}
 	copy(rec.Key[:], payload[:keyLen])
 	rec.Stamp = binary.BigEndian.Uint64(payload[keyLen : keyLen+stampLen])
+	body := payload[minPayloadV1:]
+	rec.Origin = ""
+	if version >= segmentV2 {
+		olen := int(binary.BigEndian.Uint16(payload[keyLen+stampLen : minPayloadV2]))
+		if olen > maxOrigin || minPayloadV2+olen > length {
+			return 0, errTorn
+		}
+		rec.Origin = identity.PartyID(payload[minPayloadV2 : minPayloadV2+olen])
+		body = payload[minPayloadV2+olen:]
+	}
 	rec.Verdict = core.Verdict{}
-	if err := json.Unmarshal(payload[minPayload:], &rec.Verdict); err != nil {
+	if err := json.Unmarshal(body, &rec.Verdict); err != nil {
 		// The CRC passed, so these bytes are what the writer wrote — a
 		// writer bug, not a torn write. Treat it like corruption anyway:
 		// salvage stops here rather than guessing at the next frame.

@@ -85,6 +85,12 @@ type Options struct {
 	// anyway. Retirement order is oldest append stamp first among the
 	// records Retain does not vouch for — see Retain.
 	MaxLive int
+	// Origin is the party ID stamped onto locally appended records as
+	// their provenance: the authority that vouches for them. Empty means
+	// unattributed (an unkeyed deployment). Records arriving through
+	// Ingest keep the origin the caller set on them — the anti-entropy
+	// layer stamps the signing peer's identity there.
+	Origin identity.PartyID
 	// Retain, when non-nil, is consulted during MaxLive retirement: a
 	// key it returns true for is kept in preference to one it does not.
 	// Append stamps alone are a poor warmth signal — a popular verdict
@@ -223,16 +229,57 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 		nextStamp: rec.maxStamp + 1,
 	}
 	for key, r := range rec.live {
-		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict)}
+		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict), origin: r.Origin}
 	}
 	live := uint64(len(rec.live))
 	s.replayed.Store(live)
 	s.live.Store(live)
 	s.garbage.Store(rec.total - live)
 	s.salvaged.Store(uint64(rec.salvaged))
+	if err := s.upgradeSegments(rec); err != nil {
+		tail.Close()
+		unlock()
+		return nil, nil, err
+	}
 	records := rec.liveRecords()
 	go s.flusher()
 	return s, records, nil
+}
+
+// upgradeSegments brings the on-disk format to the current segment
+// version before the flusher starts. A store whose segments replayed as
+// legacy v1 is rewritten wholesale — the live set goes into a fresh v2
+// snapshot, the tail is truncated and given the version header — so v2 is
+// the only format ever appended to and the origin column exists for every
+// future record (the migrated history itself stays unattributed: no
+// authority signed for it). The rewrite is a compaction in all but
+// trigger, and is counted as one. A store already at v2 only has its tail
+// header written when the tail is brand new or was salvaged to empty.
+func (s *Store) upgradeSegments(rec *recovery) error {
+	if rec.upgrade {
+		if err := s.writeSnapshot(rec.live); err != nil {
+			return fmt.Errorf("store: upgrading legacy segments: %w", err)
+		}
+		if err := s.tail.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncating legacy tail: %w", err)
+		}
+		s.compactions.Add(1)
+		s.compacted.Add(s.garbage.Swap(0))
+	}
+	info, err := s.tail.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat tail: %w", err)
+	}
+	if info.Size() != 0 {
+		return nil // existing v2 tail: header already on disk
+	}
+	if _, err := s.tail.Write(segmentHeader); err != nil {
+		return fmt.Errorf("store: writing tail header: %w", err)
+	}
+	if err := s.tail.Sync(); err != nil {
+		return fmt.Errorf("store: syncing tail header: %w", err)
+	}
+	return nil
 }
 
 // Append queues one verdict for persistence and reports whether it was
@@ -379,6 +426,7 @@ func (s *Store) writeRecord(r *Record) {
 	}
 	r.Stamp = s.nextStamp
 	s.nextStamp++
+	r.Origin = s.opts.Origin // local append: this authority vouches
 	s.writeStamped(r)
 }
 
@@ -411,9 +459,25 @@ func (s *Store) writeStamped(r *Record) {
 	} else {
 		s.live.Add(1)
 	}
-	s.index[r.Key] = idxEntry{stamp: r.Stamp, sum: sum}
+	s.index[r.Key] = idxEntry{stamp: r.Stamp, sum: sum, origin: r.Origin}
 	s.persisted.Add(1)
 	s.sinceSync++
+}
+
+// Provenance summarizes the live set by vouching authority: how many
+// on-disk records each origin party ID accounts for (the empty ID groups
+// unattributed records — unkeyed deployments and migrated v1 history).
+// It runs as a flusher command at anti-entropy cadence, so the counts are
+// exact with respect to every accepted Append, never racing the writer.
+func (s *Store) Provenance() (map[identity.PartyID]uint64, error) {
+	var m map[identity.PartyID]uint64
+	err := s.do(func() {
+		m = make(map[identity.PartyID]uint64)
+		for _, e := range s.index {
+			m[e.origin]++
+		}
+	})
+	return m, err
 }
 
 // syncTail fsyncs the tail segment if there are unsynced records.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -167,11 +168,17 @@ func (s *Store) Ingest(recs []Record) ([]Record, error) {
 }
 
 // EncodeRecords frames records for the wire with the exact segment-file
-// layout (length prefix + CRC32C per record, see segment.go), so a sync
-// delta enjoys the same per-record integrity check as the log itself and
-// the receiver can reject a corrupted transfer record-by-record.
+// layout (version header, then length prefix + CRC32C per record — see
+// segment.go), so a sync delta enjoys the same per-record integrity check
+// as the log itself and the receiver can reject a corrupted transfer
+// record-by-record. The leading header makes the blob self-describing:
+// DecodeRecords on the far side knows which payload layout it is parsing
+// without out-of-band agreement.
 func EncodeRecords(recs []Record) ([]byte, error) {
-	var buf []byte
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	buf := append([]byte(nil), segmentHeader...)
 	var err error
 	for i := range recs {
 		if buf, _, err = appendRecord(buf, &recs[i]); err != nil {
@@ -182,15 +189,26 @@ func EncodeRecords(recs []Record) ([]byte, error) {
 }
 
 // DecodeRecords parses a framed blob produced by EncodeRecords, verifying
-// every record's checksum. Unlike segment recovery — which salvages the
-// valid prefix of a torn tail — a short or corrupt wire delta is an error:
-// nothing was crashed here, so damage means a bad peer or transport.
+// every record's checksum. A blob without the version header is read as
+// the legacy v1 layout (a pre-federation peer's delta: records come back
+// with no Origin), so an upgraded verifier keeps pulling successfully
+// from not-yet-upgraded peers during a rolling upgrade. Compatibility is
+// one-directional: a pre-federation DecodeRecords cannot parse the v2
+// header, so old requesters pulling from an upgraded responder fail with
+// a corruption error until they upgrade too — upgrade the pullers first.
+// Unlike segment recovery — which salvages the valid prefix of a torn
+// tail — a short or corrupt wire delta is an error: nothing was crashed
+// here, so damage means a bad peer or transport.
 func DecodeRecords(data []byte) ([]Record, error) {
-	r := bytes.NewReader(data)
+	br := bufio.NewReader(bytes.NewReader(data))
+	version, err := sniffVersion(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: sync delta: %w", err)
+	}
 	var out []Record
 	for {
 		var rec Record
-		if _, err := readRecord(r, &rec); err != nil {
+		if _, err := readRecord(br, &rec, version); err != nil {
 			if err == io.EOF {
 				return out, nil
 			}

@@ -167,7 +167,8 @@ type (
 	VerificationService = service.Service
 	// ServiceConfig configures a VerificationService; set PersistPath to
 	// enable the durable verdict store and SyncEvery to tune its fsync
-	// cadence.
+	// cadence, and Key / PeerKeys to sign served sync-deltas and gate
+	// pulled ones on a federation allowlist.
 	ServiceConfig = service.Config
 	// ServiceStats is a point-in-time snapshot of service counters.
 	ServiceStats = service.Stats
@@ -216,19 +217,75 @@ type (
 	// QuorumResult is a quorum-certified verdict plus the dissent report.
 	QuorumResult = quorum.Result
 	// SyncOfferRequest / SyncDeltaResponse are the "sync-offer" /
-	// "sync-delta" anti-entropy wire payloads.
+	// "sync-delta" anti-entropy wire payloads; a keyed responder signs
+	// the delta (Signer/Signature) over the canonical delta digest.
 	SyncOfferRequest  = service.SyncOfferRequest
 	SyncDeltaResponse = service.SyncDeltaResponse
 )
+
+// Federation (signed anti-entropy across operator boundaries): each
+// authority holds a persistent Ed25519 identity, signs every sync-delta
+// it serves, and verifies pulled deltas against a peer allowlist before
+// anything reaches its durable log — ingested verdicts carry the signing
+// peer's identity as on-disk provenance.
+type (
+	// PartyID is a self-certifying party identifier: the hex encoding of
+	// an Ed25519 public key. It keys reputation registries, federation
+	// allowlists (ServiceConfig.PeerKeys) and verdict provenance.
+	PartyID = identity.PartyID
+	// FederationStats is the trust-boundary section of ServiceStats: the
+	// authority's signing identity, allowlist size, per-peer delta
+	// counters and the rejection cause buckets.
+	FederationStats = service.FederationStats
+	// PeerSyncStats counts one federation peer's accepted and rejected
+	// anti-entropy deltas (and the records they applied).
+	PeerSyncStats = service.PeerSyncStats
+)
+
+// Federation errors surfaced by the anti-entropy ingest gate.
+var (
+	// ErrUnsignedDelta rejects an unsigned sync-delta on a service whose
+	// ServiceConfig.PeerKeys allowlist is configured.
+	ErrUnsignedDelta = service.ErrUnsignedDelta
+	// ErrUnknownSigner rejects a sync-delta signed by a key outside the
+	// allowlist.
+	ErrUnknownSigner = service.ErrUnknownSigner
+	// ErrBadSignature is the underlying verification failure for a
+	// forged, tampered or replayed signature.
+	ErrBadSignature = identity.ErrBadSignature
+)
+
+// LoadKeyFile reads a signing identity saved by SaveKeyFile (hex Ed25519
+// seed, one line, mode 0600). A malformed file is an error, never a
+// silently regenerated identity.
+func LoadKeyFile(path string) (*KeyPair, error) { return identity.LoadKeyFile(path) }
+
+// SaveKeyFile writes a signing identity's seed to path atomically with
+// 0600 permissions.
+func SaveKeyFile(path string, k *KeyPair) error { return identity.SaveKeyFile(path, k) }
+
+// LoadOrCreateKeyFile loads the keyfile at path, generating and saving a
+// fresh identity when the file does not exist; the flag reports creation
+// (the cue to distribute the new public ID to federation peers).
+func LoadOrCreateKeyFile(path string) (*KeyPair, bool, error) {
+	return identity.LoadOrCreateKeyFile(path)
+}
+
+// ParsePartyID validates operator input (an allowlist entry, a config
+// value) as a well-formed party identifier.
+func ParsePartyID(s string) (PartyID, error) { return identity.ParsePartyID(s) }
 
 // NewQuorumClient validates the panel and builds a quorum client. Member
 // clients are borrowed, not owned: closing them stays with the caller.
 func NewQuorumClient(cfg QuorumConfig) (*QuorumClient, error) { return quorum.New(cfg) }
 
 // QuorumPull performs one anti-entropy round: the local service offers
-// its verdict-log manifest to the peer and ingests the returned records
-// (newest stamp per key wins), returning how many were applied. Both
-// sides need a durable verdict store (ServiceConfig.PersistPath).
+// its verdict-log manifest to the peer, verifies the returned signed
+// delta through its federation gate (allowlist + Ed25519 signature, when
+// configured), and ingests the surviving records (newest stamp per key
+// wins) with the signer's identity as provenance, returning how many were
+// applied. Both sides need a durable verdict store
+// (ServiceConfig.PersistPath).
 func QuorumPull(ctx context.Context, svc *VerificationService, peer Client) (int, error) {
 	return quorum.Pull(ctx, svc, peer)
 }
