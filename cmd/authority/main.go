@@ -18,6 +18,13 @@
 //	# inspect the verifier's live service counters
 //	authority stats -verifier 127.0.0.1:7101
 //
+//	# watch live per-second rates (a top-style view over the same counters)
+//	authority stats -verifier 127.0.0.1:7101 -watch 2s
+//
+//	# expose the operator plane: Prometheus /metrics, /healthz, /readyz
+//	# and /debug/pprof on a separate admin listener
+//	authority verifier -id verify-corp -listen 127.0.0.1:7101 -admin 127.0.0.1:9090
+//
 //	# fan one announcement out to a whole panel and majority-vote the
 //	# verdicts (the paper's multi-verifier quorum), with a dissent report
 //	authority quorum -game pd -verifiers a=127.0.0.1:7101,b=127.0.0.1:7102,c=127.0.0.1:7103
@@ -60,8 +67,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -70,6 +77,7 @@ import (
 	"rationality/internal/game"
 	"rationality/internal/identity"
 	"rationality/internal/numeric"
+	"rationality/internal/obs"
 	"rationality/internal/participation"
 	"rationality/internal/proof"
 	"rationality/internal/quorum"
@@ -120,13 +128,13 @@ func usage() {
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
                      [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
-                     [-key file] [-peer-keys hexkey,hexkey,...]
+                     [-key file] [-peer-keys hexkey,hexkey,...] [-admin addr]
   authority keygen -key <file>                (create or load a signing identity; print its party ID)
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
   authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
                    [-call-timeout d] [-threshold x] [-conns n]
-  authority stats -verifier <addr> [-conns n]
+  authority stats -verifier <addr> [-conns n] [-watch d]
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
   authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
 }
@@ -214,6 +222,8 @@ func runVerifier(args []string) error {
 		"Ed25519 signing-identity keyfile; auto-generated at <persist>/identity.key when -persist is set and this is empty")
 	peerKeysFlag := fs.String("peer-keys", "",
 		"comma-separated hex public keys forming the federation allowlist: pulled sync-deltas must be signed by one of them (requires -persist; empty accepts any peer)")
+	admin := fs.String("admin", "",
+		"admin listen address for /metrics, /healthz, /readyz and /debug/pprof (empty disables the operator plane; keep it off the service port)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -265,6 +275,12 @@ func runVerifier(args []string) error {
 		return fmt.Errorf("-key requires -persist: the signing identity exists to vouch for durable verdict history")
 	}
 	if *corrupt {
+		if *admin != "" {
+			// The operator plane renders the service layer's counters; the
+			// adversarial double has no service layer, so an admin port
+			// would answer with all-zero metrics that look like health.
+			return fmt.Errorf("-corrupt does not support -admin: the adversarial double has no service counters to expose")
+		}
 		if *keyPath != "" || len(peerKeys) > 0 {
 			// A signing identity would let the liar's corruption cross
 			// operator boundaries with a valid signature on it.
@@ -312,6 +328,38 @@ func runVerifier(args []string) error {
 			return err
 		}
 	}
+	// The admin plane comes up before the service so liveness answers (and
+	// /readyz honestly reports 503) while a large warm-start replay is
+	// still running. Until service.New returns, the stats closure serves a
+	// zero-valued tree through the nil-guarded atomic pointer.
+	var live atomic.Pointer[service.Service]
+	var ready *obs.Readiness
+	var adminSrv *obs.Server
+	if *admin != "" {
+		gates := []string{obs.GateWarmStart}
+		if len(peerAddrs) > 0 {
+			// A peered verifier is not ready until it has completed one
+			// anti-entropy exchange: before that it may be missing verdict
+			// history its peers already hold.
+			gates = append(gates, obs.GateFirstSync)
+		}
+		ready = obs.NewReadiness(gates...)
+		if adminSrv, err = obs.NewServer(obs.ServerConfig{
+			Addr: *admin,
+			ID:   *id,
+			Stats: func() service.Stats {
+				if s := live.Load(); s != nil {
+					return s.Stats()
+				}
+				return service.Stats{}
+			},
+			Readiness: ready,
+		}); err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		fmt.Printf("admin: /metrics /healthz /readyz /debug/pprof on %s\n", adminSrv.Addr())
+	}
 	svc, err := service.New(service.Config{
 		ID:          *id,
 		Workers:     *workers,
@@ -325,6 +373,12 @@ func runVerifier(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	live.Store(svc)
+	if ready != nil {
+		// service.New returned, so any warm-start replay has finished and
+		// the cache is as warm as the log can make it.
+		ready.Mark(obs.GateWarmStart)
 	}
 	srv, err := transport.ListenTCP(*listen, svc)
 	if err != nil {
@@ -350,7 +404,14 @@ func runVerifier(args []string) error {
 	var stopSync func()
 	if len(peerAddrs) > 0 {
 		fmt.Printf("anti-entropy: pulling from %d peers every %s\n", len(peerAddrs), *syncInterval)
-		stopSync = startAntiEntropy(svc, peerAddrs, *syncInterval, *syncTimeout)
+		stopSync = startAntiEntropy(svc, peerAddrs, *syncInterval, *syncTimeout, func(exchanged bool) {
+			// first-sync flips on the first round with at least one
+			// successful peer exchange; a round where every peer was
+			// unreachable or rejected proves nothing was caught up on.
+			if exchanged && ready != nil {
+				ready.Mark(obs.GateFirstSync)
+			}
+		})
 	}
 	waitForSignal()
 	// Graceful drain: stop accepting, let in-flight verifications finish,
@@ -368,8 +429,15 @@ func runVerifier(args []string) error {
 	// evidence of what was (or wasn't) lost.
 	srvErr := srv.Close()
 	svcErr := svc.Close()
+	// The admin plane goes last: it keeps answering scrapes through the
+	// drain, so the final counters are observable right up to exit. Close
+	// is idempotent, so the deferred close above stays harmless.
+	var adminErr error
+	if adminSrv != nil {
+		adminErr = adminSrv.Close()
+	}
 	printStats(svc.Stats())
-	return errors.Join(srvErr, svcErr)
+	return errors.Join(srvErr, svcErr, adminErr)
 }
 
 // dialedVerifier is one entry of a parsed-and-dialed "-verifiers" list.
@@ -464,10 +532,13 @@ func splitNonEmpty(s string) []string {
 // then one round per interval, each round pulling the missing verdict
 // records from every peer. Each dial+exchange is bounded by timeout, not
 // by the cadence — a verifier catching up on a long outage must be able
-// to finish one big delta even on a sub-second interval. The returned
-// stop function halts the loop and closes the peer clients; it is safe
-// to call exactly once.
-func startAntiEntropy(svc *service.Service, peers []string, interval, timeout time.Duration) (stop func()) {
+// to finish one big delta even on a sub-second interval. After every
+// completed round onRound reports whether at least one peer exchange
+// succeeded (an unreachable or rejecting peer does not count) — the hook
+// readiness hangs its first-sync gate on. The returned stop function
+// halts the loop and closes the peer clients; it is safe to call exactly
+// once.
+func startAntiEntropy(svc *service.Service, peers []string, interval, timeout time.Duration, onRound func(exchanged bool)) (stop func()) {
 	// loopCtx dies with the stop call, so an exchange in flight when the
 	// verifier shuts down is cancelled promptly instead of holding the
 	// drain hostage for up to -sync-timeout per unresponsive peer.
@@ -481,10 +552,13 @@ func startAntiEntropy(svc *service.Service, peers []string, interval, timeout ti
 				_ = c.Close()
 			}
 		}()
-		pullAll := func() {
+		// pullAll runs one round and reports how many peer exchanges
+		// succeeded; a round cut short by shutdown reports -1 so it is
+		// never counted as completed.
+		pullAll := func() (exchanged int) {
 			for _, addr := range peers {
 				if loopCtx.Err() != nil {
-					return // shutting down: don't start the next peer
+					return -1 // shutting down: don't start the next peer
 				}
 				c, ok := clients[addr]
 				if !ok {
@@ -503,15 +577,29 @@ func startAntiEntropy(svc *service.Service, peers []string, interval, timeout ti
 				cancel()
 				switch {
 				case loopCtx.Err() != nil:
-					return // cancelled mid-exchange: not a peer failure
+					return -1 // cancelled mid-exchange: not a peer failure
 				case err != nil:
 					fmt.Printf("anti-entropy: pull from %s: %v\n", addr, err)
-				case n > 0:
-					fmt.Printf("anti-entropy: pulled %d records from %s\n", n, addr)
+				default:
+					exchanged++
+					if n > 0 {
+						fmt.Printf("anti-entropy: pulled %d records from %s\n", n, addr)
+					}
 				}
 			}
+			return exchanged
 		}
-		pullAll()
+		round := func() {
+			n := pullAll()
+			if n < 0 {
+				return // aborted mid-round by shutdown
+			}
+			svc.NoteSyncRound()
+			if onRound != nil {
+				onRound(n > 0)
+			}
+		}
+		round()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
@@ -519,7 +607,7 @@ func startAntiEntropy(svc *service.Service, peers []string, interval, timeout ti
 			case <-loopCtx.Done():
 				return
 			case <-ticker.C:
-				pullAll()
+				round()
 			}
 		}
 	}()
@@ -636,41 +724,11 @@ func runQuorum(args []string) error {
 	return nil
 }
 
+// printStats renders the counters on stdout through the shared renderer —
+// the same lines /metrics derives its families from, so the shutdown
+// report and the stats subcommand cannot drift from the scrape.
 func printStats(st service.Stats) {
-	fmt.Printf("requests=%d batches=%d hits=%d misses=%d deduped=%d ingested=%d deltasServed=%d\n",
-		st.Requests, st.Batches, st.CacheHits, st.CacheMisses, st.Deduplicated,
-		st.Ingested, st.DeltasServed)
-	fmt.Printf("accepted=%d rejected=%d failures=%d peakInFlight=%d cacheEntries=%d workers=%d\n",
-		st.Accepted, st.Rejected, st.Failures, st.PeakInFlight, st.CacheEntries, st.Workers)
-	if st.CacheShards > 0 {
-		fmt.Printf("cache: %d shards, per-shard entries %v\n", st.CacheShards, st.ShardEntries)
-	}
-	if st.Latency.Count > 0 {
-		fmt.Printf("latency: n=%d mean=%s min=%s max=%s\n",
-			st.Latency.Count, st.Latency.Mean, st.Latency.Min, st.Latency.Max)
-		fmt.Printf("latency: p50<=%s p95<=%s p99<=%s (log2-bucket estimates)\n",
-			st.Latency.P50, st.Latency.P95, st.Latency.P99)
-	}
-	if p := st.Persistence; p != nil {
-		fmt.Printf("persistence: persisted=%d replayed=%d ingested=%d dropped=%d failed=%d live=%d garbage=%d\n",
-			p.Persisted, p.Replayed, p.Ingested, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)
-		fmt.Printf("persistence: compactions=%d compactedRecords=%d salvagedBytes=%d\n",
-			p.Compactions, p.CompactedRecords, p.SalvagedBytes)
-	}
-	if f := st.Federation; f != nil {
-		fmt.Printf("federation: signer=%s trustedPeers=%d rejectedUnsigned=%d rejectedUnknown=%d rejectedBadSig=%d rejectedCorrupt=%d\n",
-			f.Signer, f.TrustedPeers, f.RejectedUnsigned, f.RejectedUnknown, f.RejectedBadSig, f.RejectedCorrupt)
-		peerIDs := make([]string, 0, len(f.Peers))
-		for id := range f.Peers {
-			peerIDs = append(peerIDs, id)
-		}
-		sort.Strings(peerIDs)
-		for _, id := range peerIDs {
-			p := f.Peers[id]
-			fmt.Printf("federation: peer %s deltas=%d records=%d rejected=%d\n",
-				id, p.Deltas, p.Records, p.Rejected)
-		}
-	}
+	obs.WriteText(os.Stdout, st)
 }
 
 // validateCacheShards rejects shard counts the operator probably fat-
@@ -749,12 +807,16 @@ func runBatch(args []string) error {
 	return nil
 }
 
-// runStats queries a running verifier's service counters.
+// runStats queries a running verifier's service counters: one-shot by
+// default, or a live top-style view with -watch that polls on a cadence
+// and prints per-second deltas until interrupted.
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
 	conns := fs.Int("conns", 1, "client connection-pool size")
 	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	watch := fs.Duration("watch", 0,
+		"live view: re-poll every interval and print per-second rate deltas until interrupted (0 = print once and exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -763,23 +825,66 @@ func runStats(args []string) error {
 		return err
 	}
 	defer client.Close()
-	req, err := transport.NewMessage(service.MsgServiceStats, struct{}{})
-	if err != nil {
-		return err
+	fetch := func() (service.StatsResponse, error) {
+		var sr service.StatsResponse
+		req, err := transport.NewMessage(service.MsgServiceStats, struct{}{})
+		if err != nil {
+			return sr, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		resp, err := client.Call(ctx, req)
+		if err != nil {
+			return sr, err
+		}
+		err = resp.Decode(&sr)
+		return sr, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-	resp, err := client.Call(ctx, req)
+	sr, err := fetch()
 	if err != nil {
-		return err
-	}
-	var sr service.StatsResponse
-	if err := resp.Decode(&sr); err != nil {
 		return err
 	}
 	fmt.Printf("verifier %q\n", sr.VerifierID)
-	printStats(sr.Stats)
-	return nil
+	if *watch <= 0 {
+		printStats(sr.Stats)
+		return nil
+	}
+	return watchStats(fetch, sr, *watch)
+}
+
+// watchStats is the -watch loop: each tick re-fetches the counters and
+// prints one delta row (rates per second over the real elapsed window,
+// not the nominal interval). The header reprints every screenful so a
+// long session stays readable. A failed poll prints and keeps going —
+// a verifier restart mid-watch shows up as a rate reset, not an exit —
+// and SIGINT/SIGTERM end the watch cleanly.
+func watchStats(fetch func() (service.StatsResponse, error), prev service.StatsResponse, interval time.Duration) error {
+	const headerEvery = 20
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	prevAt := time.Now()
+	for rows := 0; ; {
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+		}
+		cur, err := fetch()
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			continue
+		}
+		if rows%headerEvery == 0 {
+			fmt.Println(obs.WatchHeader())
+		}
+		fmt.Println(obs.DiffStats(prev.Stats, cur.Stats, now.Sub(prevAt)).Row())
+		prev, prevAt = cur, now
+		rows++
+	}
 }
 
 func runAgent(args []string) error {

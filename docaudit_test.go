@@ -63,16 +63,17 @@ func TestGodocFacadeExports(t *testing.T) {
 }
 
 // TestGodocFederationPackages audits every exported identifier — not just
-// the facade's — of the packages that form the federation API surface:
-// internal/quorum and internal/identity. Operators embed these directly
-// (key management, quorum clients, the signed anti-entropy digest), so
-// each exported function, method, type, constant, variable and struct
-// field must carry a doc comment of its own or sit under a documented
-// group/parent.
+// the facade's — of the packages that form the operator-facing API
+// surface: internal/quorum, internal/identity and internal/obs. Operators
+// embed these directly (key management, quorum clients, the signed
+// anti-entropy digest, the admin plane), so each exported function,
+// method, type, constant, variable and struct field must carry a doc
+// comment of its own or sit under a documented group/parent.
 func TestGodocFederationPackages(t *testing.T) {
 	for _, dir := range []string{
 		filepath.Join("internal", "quorum"),
 		filepath.Join("internal", "identity"),
+		filepath.Join("internal", "obs"),
 	} {
 		t.Run(dir, func(t *testing.T) {
 			auditPackageExports(t, dir)

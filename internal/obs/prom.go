@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+
+	"rationality/internal/service"
+)
+
+// Prometheus text exposition (format version 0.0.4) over service.Stats.
+// The renderer is deliberately hand-rolled: the module is dependency-free
+// and the exposition format is tiny — HELP/TYPE lines per family, one
+// sample per line, label values escaped. Everything the Stats tree holds
+// is rendered, nothing is sampled twice, and all output is deterministic
+// (map-backed sections iterate in sorted order) so the golden test can
+// compare bytes.
+
+// MetricsContentType is the Content-Type of the /metrics reply: the
+// Prometheus text exposition version this package renders.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promLabel is one label pair of a sample line.
+type promLabel struct{ name, value string }
+
+// promWriter accumulates exposition text family by family.
+type promWriter struct {
+	b strings.Builder
+}
+
+// family emits the HELP and TYPE header of one metric family.
+func (p *promWriter) family(name, help, typ string) {
+	p.b.WriteString("# HELP ")
+	p.b.WriteString(name)
+	p.b.WriteByte(' ')
+	p.b.WriteString(escapeHelp(help))
+	p.b.WriteString("\n# TYPE ")
+	p.b.WriteString(name)
+	p.b.WriteByte(' ')
+	p.b.WriteString(typ)
+	p.b.WriteByte('\n')
+}
+
+// sample emits one sample line: name{labels} value.
+func (p *promWriter) sample(name string, labels []promLabel, value string) {
+	p.b.WriteString(name)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			p.b.WriteString(l.name)
+			p.b.WriteString(`="`)
+			p.b.WriteString(escapeLabel(l.value))
+			p.b.WriteByte('"')
+		}
+		p.b.WriteByte('}')
+	}
+	p.b.WriteByte(' ')
+	p.b.WriteString(value)
+	p.b.WriteByte('\n')
+}
+
+// counter emits a single-sample counter family.
+func (p *promWriter) counter(name, help string, v uint64) {
+	p.family(name, help, "counter")
+	p.sample(name, nil, formatUint(v))
+}
+
+// gauge emits a single-sample gauge family.
+func (p *promWriter) gauge(name, help string, v int64) {
+	p.family(name, help, "gauge")
+	p.sample(name, nil, strconv.FormatInt(v, 10))
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are legal
+// there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatUint renders a counter value.
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatSeconds renders a duration-derived float the shortest way that
+// round-trips, the conventional Prometheus float formatting.
+func formatSeconds(sec float64) string { return strconv.FormatFloat(sec, 'g', -1, 64) }
+
+// WriteMetrics renders a service Stats snapshot as Prometheus text
+// exposition: every counter and gauge the snapshot carries, the log2
+// latency histogram as a native Prometheus histogram with cumulative `le`
+// buckets over the full bucket range (the summary's trimmed tail is
+// rendered as zeros), per-shard cache gauges, the durable store's
+// counters when persistence is enabled, and the federation trust-boundary
+// counters — per rejection cause and per peer — when federation is
+// configured. verifierID labels the rationality_authority_info series.
+// Output is deterministic for a given snapshot.
+func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
+	var p promWriter
+
+	// Identity first: the info-series idiom gives dashboards the authority
+	// ID and signing identity as labels without stamping them on every
+	// series.
+	p.family("rationality_authority_info", "Authority identity: constant 1, labeled with the verifier ID and (when keyed) the Ed25519 signing party ID.", "gauge")
+	info := []promLabel{{"id", verifierID}}
+	if st.Federation != nil && st.Federation.Signer != "" {
+		info = append(info, promLabel{"signer", string(st.Federation.Signer)})
+	}
+	p.sample("rationality_authority_info", info, "1")
+
+	// Request-path counters.
+	p.counter("rationality_requests_total", "Admitted single verifications (batch items included); cache hits + misses always equal this.", st.Requests)
+	p.counter("rationality_batches_total", "VerifyBatch calls.", st.Batches)
+	p.counter("rationality_cache_hits_total", "Requests answered from the verdict cache.", st.CacheHits)
+	p.counter("rationality_cache_misses_total", "Requests that missed the verdict cache.", st.CacheMisses)
+	p.counter("rationality_deduplicated_total", "Requests that shared a concurrent identical verification (singleflight followers).", st.Deduplicated)
+	p.family("rationality_verdicts_total", "Delivered verdicts partitioned by outcome.", "counter")
+	p.sample("rationality_verdicts_total", []promLabel{{"verdict", "accepted"}}, formatUint(st.Accepted))
+	p.sample("rationality_verdicts_total", []promLabel{{"verdict", "rejected"}}, formatUint(st.Rejected))
+	p.counter("rationality_failures_total", "Requests that produced no verdict at all (unknown format, cancelled context, service shutdown).", st.Failures)
+
+	// Concurrency gauges.
+	p.gauge("rationality_in_flight", "Requests currently being served.", st.InFlight)
+	p.gauge("rationality_in_flight_peak", "Highest concurrency observed since start.", st.PeakInFlight)
+	p.gauge("rationality_workers", "Executor pool size.", int64(st.Workers))
+
+	// Cache population, total and per stripe.
+	p.gauge("rationality_cache_entries", "Current verdict-cache population.", int64(st.CacheEntries))
+	p.gauge("rationality_cache_shards", "Verdict-cache stripe count.", int64(st.CacheShards))
+	if len(st.ShardEntries) > 0 {
+		p.family("rationality_cache_shard_entries", "Verdict-cache population per stripe.", "gauge")
+		for i, n := range st.ShardEntries {
+			p.sample("rationality_cache_shard_entries", []promLabel{{"shard", strconv.Itoa(i)}}, strconv.Itoa(n))
+		}
+	}
+
+	// Anti-entropy counters (present even unfederated: intra-operator
+	// replication reports here too).
+	p.counter("rationality_ingested_total", "Verdicts absorbed from peers via anti-entropy (replication, never counted as hits or misses).", st.Ingested)
+	p.counter("rationality_sync_deltas_served_total", "Sync-offer requests answered for peers.", st.DeltasServed)
+	p.counter("rationality_sync_rounds_total", "Completed anti-entropy passes over the peer list.", st.SyncRounds)
+
+	writeLatencyHistogram(&p, st.Latency)
+
+	if ps := st.Persistence; ps != nil {
+		p.counter("rationality_store_persisted_total", "Records appended to the durable verdict log since open.", ps.Persisted)
+		p.gauge("rationality_store_replayed", "Warm-start records replayed into the cache at open.", int64(ps.Replayed))
+		p.counter("rationality_store_dropped_total", "Appends discarded because the store queue was full (lost warmth, never correctness).", ps.Dropped)
+		p.counter("rationality_store_failed_total", "Records lost to a write failure; growing with quiet drops means the disk is the problem, not the load.", ps.Failed)
+		p.counter("rationality_store_ingested_total", "Records absorbed into the durable log from peers since open.", ps.Ingested)
+		p.counter("rationality_store_compactions_total", "Snapshot compactions since open.", ps.Compactions)
+		p.counter("rationality_store_compacted_records_total", "Records eliminated by compaction (superseded duplicates plus retired cold records).", ps.CompactedRecords)
+		p.gauge("rationality_store_live_records", "Distinct live keys on disk.", int64(ps.LiveRecords))
+		p.gauge("rationality_store_garbage_records", "Superseded records awaiting compaction.", int64(ps.GarbageRecords))
+		p.gauge("rationality_store_salvaged_bytes", "Bytes a torn-tail recovery truncated at open (zero after a clean shutdown).", int64(ps.SalvagedBytes))
+	}
+
+	if fs := st.Federation; fs != nil {
+		p.gauge("rationality_federation_trusted_peers", "Peer-allowlist size; zero accepts any peer (intra-operator mode).", int64(fs.TrustedPeers))
+		p.family("rationality_federation_rejected_total", "Sync-deltas refused before ingest, by cause: unsigned, unknown-signer, bad-signature, corrupt.", "counter")
+		for _, c := range []struct {
+			cause string
+			n     uint64
+		}{
+			{"unsigned", fs.RejectedUnsigned},
+			{"unknown-signer", fs.RejectedUnknown},
+			{"bad-signature", fs.RejectedBadSig},
+			{"corrupt", fs.RejectedCorrupt},
+		} {
+			p.sample("rationality_federation_rejected_total", []promLabel{{"cause", c.cause}}, formatUint(c.n))
+		}
+		if len(fs.Peers) > 0 {
+			peerIDs := sortedKeys(fs.Peers)
+			p.family("rationality_federation_peer_deltas_total", "Verified sync-deltas accepted per signing peer.", "counter")
+			for _, id := range peerIDs {
+				p.sample("rationality_federation_peer_deltas_total", []promLabel{{"peer", id}}, formatUint(fs.Peers[id].Deltas))
+			}
+			p.family("rationality_federation_peer_records_total", "Records applied from each signing peer's accepted deltas.", "counter")
+			for _, id := range peerIDs {
+				p.sample("rationality_federation_peer_records_total", []promLabel{{"peer", id}}, formatUint(fs.Peers[id].Records))
+			}
+			p.family("rationality_federation_peer_rejected_total", "Sync-deltas refused per claimed signing peer.", "counter")
+			for _, id := range peerIDs {
+				p.sample("rationality_federation_peer_rejected_total", []promLabel{{"peer", id}}, formatUint(fs.Peers[id].Rejected))
+			}
+		}
+	}
+
+	_, err := io.WriteString(w, p.b.String())
+	return err
+}
+
+// writeLatencyHistogram renders the log2 latency summary as a native
+// Prometheus histogram. The service's buckets count requests with
+// floor(log2(latency_ns)) == i, so bucket i's inclusive upper bound is
+// 2^(i+1)-1 ns — already a cumulative-friendly partition: `le` for bucket
+// i is that bound in seconds and the counts accumulate across the full
+// LatencyBuckets range (the summary ships a trimmed slice; the tail is
+// zeros by construction). The +Inf bucket and _count are both the
+// histogram's own total, so the exposition is self-consistent even when a
+// racing snapshot caught Count a hair apart from the bucket sum; _sum is
+// the summary's Total.
+func writeLatencyHistogram(p *promWriter, lat service.LatencySummary) {
+	const name = "rationality_request_duration_seconds"
+	p.family(name, "End-to-end request latency, from the service's lock-free log2 histogram (bucket i spans up to 2^(i+1)-1 ns).", "histogram")
+	var cum uint64
+	for i := 0; i < service.LatencyBuckets; i++ {
+		if i < len(lat.Buckets) {
+			cum += lat.Buckets[i]
+		}
+		le := formatSeconds(service.LatencyBucketBound(i).Seconds())
+		p.sample(name+"_bucket", []promLabel{{"le", le}}, formatUint(cum))
+	}
+	p.sample(name+"_bucket", []promLabel{{"le", "+Inf"}}, formatUint(cum))
+	p.sample(name+"_sum", nil, formatSeconds(lat.Total.Seconds()))
+	p.sample(name+"_count", nil, formatUint(cum))
+
+	// Min/Max are exact observed bounds the histogram's resolution cannot
+	// carry; exposed as companion gauges.
+	p.family("rationality_request_duration_min_seconds", "Smallest observed request latency (0 until the first request completes).", "gauge")
+	p.sample("rationality_request_duration_min_seconds", nil, formatSeconds(lat.Min.Seconds()))
+	p.family("rationality_request_duration_max_seconds", "Largest observed request latency.", "gauge")
+	p.sample("rationality_request_duration_max_seconds", nil, formatSeconds(lat.Max.Seconds()))
+}
+
+// WriteReadyMetrics renders the readiness latch as metrics:
+// rationality_ready (1 once every gate is marked) and one
+// rationality_ready_gate sample per declared gate. The admin server
+// appends this after WriteMetrics so dashboards can plot readiness next
+// to traffic; it is exported separately because readiness lives outside
+// the service Stats tree.
+func WriteReadyMetrics(w io.Writer, r *Readiness) error {
+	var p promWriter
+	gates, done := r.snapshot()
+	ready := "1"
+	for _, g := range gates {
+		if !done[g] {
+			ready = "0"
+			break
+		}
+	}
+	p.family("rationality_ready", "Whether every readiness gate has been marked: 1 serves traffic, 0 is warming up.", "gauge")
+	p.sample("rationality_ready", nil, ready)
+	if len(gates) > 0 {
+		p.family("rationality_ready_gate", "Per-gate readiness state: 1 once the named gate has been marked.", "gauge")
+		for _, g := range gates {
+			v := "0"
+			if done[g] {
+				v = "1"
+			}
+			p.sample("rationality_ready_gate", []promLabel{{"gate", g}}, v)
+		}
+	}
+	_, err := io.WriteString(w, p.b.String())
+	return err
+}

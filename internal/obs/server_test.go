@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rationality/internal/service"
+)
+
+// startServer spins up an admin server on an ephemeral port and tears it
+// down with the test.
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// get fetches one admin path and returns status and body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestReadyzTransitions walks /readyz through the full startup sequence
+// of a peered authority: not ready during warm-start replay, still not
+// ready before the first sync round, ready after — and the flip is a
+// latch: it happens exactly once and re-marking gates cannot unflip it.
+func TestReadyzTransitions(t *testing.T) {
+	ready := NewReadiness(GateWarmStart, GateFirstSync)
+	s := startServer(t, ServerConfig{ID: "t", Readiness: ready})
+
+	code, body := get(t, s, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("cold /readyz = %d, want 503", code)
+	}
+	if !strings.Contains(body, GateWarmStart) || !strings.Contains(body, GateFirstSync) {
+		t.Fatalf("cold /readyz body should name both pending gates, got %q", body)
+	}
+
+	ready.Mark(GateWarmStart)
+	code, body = get(t, s, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after warm-start only = %d, want 503 (first sync round still pending)", code)
+	}
+	if strings.Contains(body, GateWarmStart) || !strings.Contains(body, GateFirstSync) {
+		t.Fatalf("post-warm-start body should name only first-sync, got %q", body)
+	}
+
+	ready.Mark(GateFirstSync)
+	if code, _ = get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after both gates = %d, want 200", code)
+	}
+
+	// The latch flips exactly once: marking again (the sync loop signals
+	// every round, not just the first) and probing repeatedly stays 200.
+	for i := 0; i < 3; i++ {
+		ready.Mark(GateFirstSync)
+		ready.Mark(GateWarmStart)
+		if code, _ = get(t, s, "/readyz"); code != http.StatusOK {
+			t.Fatalf("/readyz flipped back to %d on probe %d", code, i)
+		}
+	}
+}
+
+// TestReadyzWithoutPeers covers the unpeered authority: one warm-start
+// gate, ready the moment it marks.
+func TestReadyzWithoutPeers(t *testing.T) {
+	ready := NewReadiness(GateWarmStart)
+	s := startServer(t, ServerConfig{ID: "t", Readiness: ready})
+	if code, _ := get(t, s, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("cold /readyz = %d, want 503", code)
+	}
+	ready.Mark(GateWarmStart)
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatalf("warm /readyz = %d, want 200", code)
+	}
+}
+
+// TestReadyzNilReadiness: no latch configured means readiness mirrors
+// liveness.
+func TestReadyzNilReadiness(t *testing.T) {
+	s := startServer(t, ServerConfig{ID: "t"})
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with nil readiness = %d, want 200", code)
+	}
+}
+
+// TestHealthzAlwaysLive: liveness answers 200 even while readiness gates
+// are pending — the probe distinction load balancers rely on.
+func TestHealthzAlwaysLive(t *testing.T) {
+	ready := NewReadiness(GateWarmStart)
+	s := startServer(t, ServerConfig{ID: "t", Readiness: ready})
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves the exposition content type, the
+// stats tree, and the appended readiness series; the whole reply passes
+// the lint.
+func TestMetricsEndpoint(t *testing.T) {
+	ready := NewReadiness(GateWarmStart)
+	s := startServer(t, ServerConfig{
+		ID:        "verify-corp",
+		Stats:     func() service.Stats { return fixtureStats() },
+		Readiness: ready,
+	})
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, MetricsContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	lintExposition(t, text)
+	for _, want := range []string{
+		"rationality_requests_total 120",
+		`rationality_federation_rejected_total{cause="unknown-signer"} 3`,
+		"rationality_ready 0",
+		`rationality_ready_gate{gate="warm-start"} 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsNilStats: the admin plane can come up before the service it
+// observes; /metrics then serves a zero-valued (but well-formed) tree.
+func TestMetricsNilStats(t *testing.T) {
+	s := startServer(t, ServerConfig{ID: "warming"})
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics with nil stats = %d, want 200", code)
+	}
+	lintExposition(t, body)
+	if !strings.Contains(body, "rationality_requests_total 0\n") {
+		t.Error("zero-valued exposition missing rationality_requests_total 0")
+	}
+}
+
+// TestPprofWired: the profiling endpoints answer on the admin port — a
+// heap profile is one curl away.
+func TestPprofWired(t *testing.T) {
+	s := startServer(t, ServerConfig{ID: "t"})
+	code, body := get(t, s, "/debug/pprof/heap?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap = %d, want 200", code)
+	}
+	if !strings.Contains(body, "heap profile") {
+		t.Errorf("heap profile body unrecognized: %.80q", body)
+	}
+	if code, _ := get(t, s, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ index = %d, want 200", code)
+	}
+}
+
+// TestServerCloseIdempotent: Close drains gracefully and a second Close
+// (the deferred one after an explicit shutdown) returns promptly.
+func TestServerCloseIdempotent(t *testing.T) {
+	s, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", ID: "t", ShutdownTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Close hung")
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("listener still answering after Close")
+	}
+}

@@ -29,6 +29,7 @@ type metrics struct {
 	deduplicated atomic.Uint64
 	ingested     atomic.Uint64
 	deltasServed atomic.Uint64
+	syncRounds   atomic.Uint64
 	accepted     atomic.Uint64
 	rejected     atomic.Uint64
 	failures     atomic.Uint64
@@ -53,6 +54,18 @@ func latencyBucket(ns int64) int {
 	}
 	return b
 }
+
+// LatencyBuckets is the capacity of the log2 latency histogram: the
+// number of buckets a full (untrimmed) LatencySummary.Buckets can carry.
+// Renderers that need the histogram's complete range — e.g. the
+// Prometheus exposition in internal/obs — iterate bucket indexes up to
+// this bound and treat indexes past the trimmed slice as zero counts.
+const LatencyBuckets = latencyBuckets
+
+// LatencyBucketBound is the inclusive upper bound of log2 latency bucket
+// i: 2^(i+1)-1 nanoseconds. It is the `le` threshold a cumulative
+// rendering of LatencySummary.Buckets derives for bucket i.
+func LatencyBucketBound(i int) time.Duration { return bucketUpperBound(i) }
 
 // bucketUpperBound is the largest latency bucket i can hold: 2^(i+1)-1 ns.
 // Percentile estimates report this bound, so they err on the conservative
@@ -109,13 +122,19 @@ func (m *metrics) end(start time.Time) {
 type LatencySummary struct {
 	Count uint64        `json:"count"`
 	Mean  time.Duration `json:"mean"`
+	// Total is the sum of all observed latencies — what a Prometheus
+	// histogram reports as `_sum`, and what Mean is derived from.
+	Total time.Duration `json:"total,omitempty"`
 	Min   time.Duration `json:"min"`
 	Max   time.Duration `json:"max"`
 	P50   time.Duration `json:"p50"`
 	P95   time.Duration `json:"p95"`
 	P99   time.Duration `json:"p99"`
 	// Buckets is the raw histogram: Buckets[i] counts requests with
-	// floor(log2(latency_ns)) == i.
+	// floor(log2(latency_ns)) == i. Trailing all-zero buckets are trimmed
+	// (a summary never ships 40 entries when only the first few are
+	// populated); index i keeps its meaning, so renderers that need the
+	// full range treat the missing tail as zeros.
 	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
@@ -140,6 +159,11 @@ type Stats struct {
 	// DeltasServed counts sync-offer requests answered for peers.
 	Ingested     uint64 `json:"ingested"`
 	DeltasServed uint64 `json:"deltasServed"`
+	// SyncRounds counts completed anti-entropy passes over the peer list
+	// (recorded by the sync loop via NoteSyncRound; zero on an authority
+	// that runs without peers). A stalled counter under a configured
+	// -peers loop means the loop itself is stuck, not just the peers.
+	SyncRounds uint64 `json:"syncRounds,omitempty"`
 	// Accepted / Rejected partition delivered verdicts.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
@@ -187,6 +211,7 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 		Deduplicated: m.deduplicated.Load(),
 		Ingested:     m.ingested.Load(),
 		DeltasServed: m.deltasServed.Load(),
+		SyncRounds:   m.syncRounds.Load(),
 		Accepted:     m.accepted.Load(),
 		Rejected:     m.rejected.Load(),
 		Failures:     m.failures.Load(),
@@ -204,22 +229,36 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 // latencySummary snapshots the histogram and derives the percentile
 // estimates from the bucket counts.
 func (m *metrics) latencySummary() LatencySummary {
+	// Count gates everything else: the gauges are updated by separate
+	// atomics after latCount, so a snapshot racing the very first request
+	// can observe latMin already set while latCount still reads 0. An
+	// all-zero summary is the only self-consistent answer then — a
+	// "Min > 0, Count == 0" summary would read as corrupted counters.
+	count := m.latCount.Load()
+	if count == 0 {
+		return LatencySummary{}
+	}
 	sum := LatencySummary{
-		Count: m.latCount.Load(),
+		Count: count,
+		Total: time.Duration(m.latTotal.Load()),
 		Min:   time.Duration(m.latMin.Load()),
 		Max:   time.Duration(m.latMax.Load()),
 	}
-	if sum.Count == 0 {
-		return sum
-	}
-	sum.Mean = time.Duration(m.latTotal.Load() / int64(sum.Count))
+	sum.Mean = sum.Total / time.Duration(count)
 	buckets := make([]uint64, latencyBuckets)
 	var total uint64
+	last := -1 // highest populated bucket, for the trailing-zero trim
 	for i := range m.latHist {
 		buckets[i] = m.latHist[i].Load()
 		total += buckets[i]
+		if buckets[i] != 0 {
+			last = i
+		}
 	}
-	sum.Buckets = buckets
+	// Ship only the populated prefix: a typical summary has single-digit
+	// live buckets, and the trimmed tail is unambiguous — bucket indexes
+	// keep their meaning, consumers treat the missing suffix as zeros.
+	sum.Buckets = buckets[:last+1]
 	if total == 0 {
 		return sum
 	}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLatencySummaryTornSnapshot reproduces the mid-traffic ordering the
+// snapshot must tolerate: end() updates latCount first and the min/max
+// gauges after, so a reader racing the very first request can observe
+// latMin already set while latCount still reads 0. The summary must come
+// back wholly zero — "Min > 0, Count == 0" would read as corruption.
+func TestLatencySummaryTornSnapshot(t *testing.T) {
+	var m metrics
+	m.latMin.Store(1500)
+	m.latMax.Store(1500)
+	m.latHist[latencyBucket(1500)].Add(1)
+	// latCount deliberately left at 0: the reader won the race.
+	sum := m.latencySummary()
+	if sum.Count != 0 || sum.Min != 0 || sum.Max != 0 || sum.Total != 0 || sum.Buckets != nil {
+		t.Fatalf("torn snapshot leaked partial state: %+v", sum)
+	}
+}
+
+// TestLatencyBucketsTrimmed: the summary ships only the populated bucket
+// prefix — a handful of entries, not all 40 — while indexes keep their
+// meaning so cumulative renderings still cover the full range.
+func TestLatencyBucketsTrimmed(t *testing.T) {
+	var m metrics
+	for _, ns := range []int64{900, 1100, 1_000_000} {
+		m.latCount.Add(1)
+		m.latTotal.Add(ns)
+		m.latHist[latencyBucket(ns)].Add(1)
+	}
+	m.latMin.Store(900)
+	m.latMax.Store(1_000_000)
+	sum := m.latencySummary()
+	wantLen := latencyBucket(1_000_000) + 1
+	if len(sum.Buckets) != wantLen {
+		t.Fatalf("Buckets length = %d, want trimmed to %d (highest populated bucket + 1)", len(sum.Buckets), wantLen)
+	}
+	if sum.Buckets[latencyBucket(900)] != 1 || sum.Buckets[latencyBucket(1100)] != 1 || sum.Buckets[wantLen-1] != 1 {
+		t.Fatalf("bucket indexes shifted by the trim: %v", sum.Buckets)
+	}
+	// The trim is what keeps the wire payload proportional to what was
+	// observed: marshalled, the summary must not carry 40 entries.
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySummary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Buckets) != wantLen {
+		t.Fatalf("marshalled bucket count = %d, want %d", len(back.Buckets), wantLen)
+	}
+}
+
+// TestLatencySummaryTotal: Total is the exact observed sum (what a
+// Prometheus histogram reports as _sum) and Mean derives from it.
+func TestLatencySummaryTotal(t *testing.T) {
+	var m metrics
+	for _, ns := range []int64{1000, 3000} {
+		m.latCount.Add(1)
+		m.latTotal.Add(ns)
+		m.latHist[latencyBucket(ns)].Add(1)
+	}
+	m.latMin.Store(1000)
+	m.latMax.Store(3000)
+	sum := m.latencySummary()
+	if sum.Total != 4000*time.Nanosecond {
+		t.Fatalf("Total = %v, want 4µs", sum.Total)
+	}
+	if sum.Mean != 2000*time.Nanosecond {
+		t.Fatalf("Mean = %v, want 2µs", sum.Mean)
+	}
+}
+
+// TestLatencyBucketBound: the exported bound matches the histogram's
+// partition (bucket i holds floor(log2) == i, so its ceiling is
+// 2^(i+1)-1 ns) — the contract cumulative renderings derive `le` from.
+func TestLatencyBucketBound(t *testing.T) {
+	for i := 0; i < LatencyBuckets; i++ {
+		bound := LatencyBucketBound(i)
+		if got := latencyBucket(int64(bound)); got != i {
+			t.Fatalf("bound of bucket %d (%v) maps to bucket %d", i, bound, got)
+		}
+		if i < LatencyBuckets-1 {
+			if got := latencyBucket(int64(bound) + 1); got != i+1 {
+				t.Fatalf("bound+1 of bucket %d maps to bucket %d, want %d", i, got, i+1)
+			}
+		}
+	}
+}

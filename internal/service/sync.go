@@ -76,6 +76,14 @@ func (s *Service) ServeSyncOffer(offer SyncOfferRequest) (SyncDeltaResponse, err
 	return resp, nil
 }
 
+// NoteSyncRound records one completed anti-entropy pass over the peer
+// list in Stats().SyncRounds. The sync loop lives outside the service
+// (cmd/authority's -peers ticker, or an embedder's own cadence), so only
+// it knows where a "round" ends; calling this after each full pass makes
+// the loop's liveness observable next to the per-delta counters the
+// service records itself.
+func (s *Service) NoteSyncRound() { s.metrics.syncRounds.Add(1) }
+
 // Provenance summarizes the durable log by vouching authority: how many
 // live records each origin party ID accounts for. Locally verified
 // verdicts appear under this service's own key (or the empty ID when

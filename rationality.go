@@ -31,6 +31,7 @@ package rationality
 import (
 	"context"
 	cryptorand "crypto/rand"
+	"io"
 	"time"
 
 	"rationality/internal/bimatrix"
@@ -41,6 +42,7 @@ import (
 	"rationality/internal/interactive"
 	"rationality/internal/links"
 	"rationality/internal/numeric"
+	"rationality/internal/obs"
 	"rationality/internal/participation"
 	"rationality/internal/proof"
 	"rationality/internal/quorum"
@@ -306,6 +308,57 @@ const DefaultSyncEvery = store.DefaultSyncEvery
 func NewVerificationService(cfg ServiceConfig) (*VerificationService, error) {
 	return service.New(cfg)
 }
+
+// The operator plane (see internal/obs): Prometheus metrics, health and
+// readiness probes, and pprof profiling for a running authority, served
+// on a dedicated admin listener away from the verification port.
+type (
+	// AdminServer is the authority's HTTP admin listener: /metrics
+	// (Prometheus text exposition of ServiceStats), /healthz (process
+	// liveness), /readyz (the readiness latch) and /debug/pprof. Create it
+	// with NewAdminServer; Close drains in-flight scrapes gracefully.
+	AdminServer = obs.Server
+	// AdminServerConfig configures an AdminServer: the listen address, the
+	// verifier identity stamped on the info metric, the stats snapshot
+	// source, and the optional readiness latch gating /readyz.
+	AdminServerConfig = obs.ServerConfig
+	// Readiness is a monotone readiness latch: named startup gates are
+	// marked done exactly once, and /readyz flips to 200 when the last
+	// gate marks. Build it with NewReadiness.
+	Readiness = obs.Readiness
+)
+
+// Readiness gate names the authority marks while starting up.
+const (
+	// GateWarmStart marks the durable verdict log replayed into the cache.
+	GateWarmStart = obs.GateWarmStart
+	// GateFirstSync marks the first anti-entropy round that completed at
+	// least one successful peer exchange.
+	GateFirstSync = obs.GateFirstSync
+)
+
+// MetricsContentType is the Content-Type of the Prometheus text
+// exposition served on /metrics and written by WritePrometheus.
+const MetricsContentType = obs.MetricsContentType
+
+// NewAdminServer binds the admin listener and starts serving; the
+// returned server is already answering probes.
+func NewAdminServer(cfg AdminServerConfig) (*AdminServer, error) { return obs.NewServer(cfg) }
+
+// NewReadiness builds a readiness latch over the named gates; with no
+// gates it is born ready.
+func NewReadiness(gates ...string) *Readiness { return obs.NewReadiness(gates...) }
+
+// WritePrometheus renders a stats snapshot as Prometheus text exposition
+// — the same families an AdminServer serves on /metrics — for embedders
+// that mount the authority behind their own HTTP stack.
+func WritePrometheus(w io.Writer, verifierID string, st ServiceStats) error {
+	return obs.WriteMetrics(w, verifierID, st)
+}
+
+// WriteStatsText renders a stats snapshot as the stable human-readable
+// lines the authority's stats subcommand prints.
+func WriteStatsText(w io.Writer, st ServiceStats) { obs.WriteText(w, st) }
 
 // Proof formats understood by the bundled verification procedures.
 const (
