@@ -61,6 +61,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -85,6 +86,7 @@ import (
 	"rationality/internal/service"
 	"rationality/internal/store"
 	"rationality/internal/transport"
+	"rationality/internal/trust"
 )
 
 func main() {
@@ -108,6 +110,8 @@ func main() {
 		err = runKeygen(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
+	case "provenance":
+		err = runProvenance(os.Args[2:])
 	case "p2-prover":
 		err = runP2Prover(os.Args[2:])
 	case "p2-verify":
@@ -123,18 +127,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|keygen|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|keygen|stats|provenance> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
                      [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
-                     [-key file] [-peer-keys hexkey,hexkey,...] [-admin addr]
+                     [-sync-backoff-max d] [-sync-jitter x] [-key file] [-peer-keys hexkey,hexkey,...]
+                     [-audit-rate x] [-quarantine-threshold x] [-probation d] [-admin addr]
   authority keygen -key <file>                (create or load a signing identity; print its party ID)
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
   authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
                    [-call-timeout d] [-threshold x] [-conns n]
   authority stats -verifier <addr> [-conns n] [-watch d]
+  authority provenance -verifier <addr> [-conns n]   (whose word the authority is serving, one line per peer)
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
   authority p2-verify -prover <addr> [-role row|col] [-seed n]`)
 }
@@ -218,6 +224,16 @@ func runVerifier(args []string) error {
 		"anti-entropy pull cadence against -peers")
 	syncTimeout := fs.Duration("sync-timeout", time.Minute,
 		"bound on one anti-entropy dial+exchange (independent of the cadence, so a short -sync-interval cannot make a large catch-up delta time out forever)")
+	syncBackoffMax := fs.Duration("sync-backoff-max", service.DefaultSyncBackoffMax,
+		"cap on the per-peer exponential backoff between failed anti-entropy pulls (a dead peer costs one dial per window, not one per tick)")
+	syncJitter := fs.Float64("sync-jitter", service.DefaultSyncJitter,
+		"fraction by which the anti-entropy cadence and backoff windows are randomized, so a fleet restarted together does not pull in lockstep (0 disables)")
+	auditRate := fs.Float64("audit-rate", 0,
+		"fraction of ingested peer records re-verified locally in the background (0 disables, 1 audits everything; a refuted record charges the vouching peer and is repaired; requires -persist)")
+	quarThreshold := fs.Float64("quarantine-threshold", trust.DefaultThreshold,
+		"reputation below which a vouching peer is quarantined: its deltas are counted but refused and the sync loop stops dialing it (requires -persist)")
+	probation := fs.Duration("probation", trust.DefaultProbation,
+		"how long a quarantine lasts before the peer is allowed a probationary re-entry")
 	keyPath := fs.String("key", "",
 		"Ed25519 signing-identity keyfile; auto-generated at <persist>/identity.key when -persist is set and this is empty")
 	peerKeysFlag := fs.String("peer-keys", "",
@@ -225,6 +241,8 @@ func runVerifier(args []string) error {
 	admin := fs.String("admin", "",
 		"admin listen address for /metrics, /healthz, /readyz and /debug/pprof (empty disables the operator plane; keep it off the service port)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
+	byzantine := fs.Bool("byzantine", false,
+		"run a full federated verifier that inverts every verdict before persisting and vouching for it (Byzantine test double: its lies are properly signed, so honest peers can convict and quarantine it by evidence)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -273,6 +291,20 @@ func runVerifier(args []string) error {
 	}
 	if *keyPath != "" && *persist == "" {
 		return fmt.Errorf("-key requires -persist: the signing identity exists to vouch for durable verdict history")
+	}
+	if *auditRate < 0 || *auditRate > 1 {
+		return fmt.Errorf("-audit-rate must be in [0, 1], got %g", *auditRate)
+	}
+	if *auditRate > 0 && *persist == "" {
+		return fmt.Errorf("-audit-rate requires -persist: auditing re-executes the persisted verify request")
+	}
+	if *byzantine {
+		if *corrupt {
+			return fmt.Errorf("-byzantine and -corrupt are different liars: -corrupt lies on the wire with no state, -byzantine vouches signed lies into the federation; pick one")
+		}
+		if *persist == "" {
+			return fmt.Errorf("-byzantine requires -persist: the Byzantine double exists to vouch durable lies to its peers")
+		}
 	}
 	if *corrupt {
 		if *admin != "" {
@@ -360,16 +392,50 @@ func runVerifier(args []string) error {
 		defer adminSrv.Close()
 		fmt.Printf("admin: /metrics /healthz /readyz /debug/pprof on %s\n", adminSrv.Addr())
 	}
+	// The reputation registry is shared between the service (which charges
+	// refuted vouchers through it) and the trust policy (which watches it
+	// and quarantines); a persisted verifier always runs the policy, with
+	// its state file next to the verdict log so a quarantine survives
+	// restart.
+	registry := reputation.NewRegistry()
+	var pol *trust.Policy
+	if *persist != "" {
+		if pol, err = trust.New(trust.Config{
+			Registry:  registry,
+			Threshold: *quarThreshold,
+			Probation: *probation,
+			Path:      filepath.Join(*persist, "trust.json"),
+			OnChange: func(peer string, from, to trust.State, detail string) {
+				switch to {
+				case trust.Quarantined:
+					fmt.Printf("trust: peer %s quarantined: %s\n", peer, detail)
+				case trust.Probation:
+					fmt.Printf("trust: peer %s enters probation: %s\n", peer, detail)
+				case trust.Active:
+					fmt.Printf("trust: peer %s readmitted: %s\n", peer, detail)
+				}
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	var procs *core.ProcedureRegistry
+	if *byzantine {
+		procs = byzantineProcedures()
+	}
 	svc, err := service.New(service.Config{
 		ID:          *id,
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		CacheShards: *cacheShards,
-		Reputation:  reputation.NewRegistry(),
+		Reputation:  registry,
+		Procedures:  procs,
 		PersistPath: *persist,
 		SyncEvery:   *syncEvery,
 		Key:         key,
 		PeerKeys:    peerKeys,
+		Trust:       pol,
+		AuditRate:   *auditRate,
 	})
 	if err != nil {
 		return err
@@ -401,17 +467,47 @@ func runVerifier(args []string) error {
 	if len(peerKeys) > 0 {
 		fmt.Printf("federation: allowlisting %d peer keys; unsigned or unknown-signer deltas will be rejected\n", len(peerKeys))
 	}
+	if pol != nil {
+		fmt.Printf("trust: quarantine below reputation %.2f, probation %s (state %s)\n",
+			*quarThreshold, *probation, filepath.Join(*persist, "trust.json"))
+	}
+	if *auditRate > 0 {
+		fmt.Printf("audit: re-verifying %.0f%% of ingested peer records in the background\n", *auditRate*100)
+	}
+	if *byzantine {
+		fmt.Printf("verifier %q is BYZANTINE: every verdict inverted before it is persisted and vouched for\n", *id)
+	}
 	var stopSync func()
 	if len(peerAddrs) > 0 {
 		fmt.Printf("anti-entropy: pulling from %d peers every %s\n", len(peerAddrs), *syncInterval)
-		stopSync = startAntiEntropy(svc, peerAddrs, *syncInterval, *syncTimeout, func(exchanged bool) {
-			// first-sync flips on the first round with at least one
-			// successful peer exchange; a round where every peer was
-			// unreachable or rejected proves nothing was caught up on.
-			if exchanged && ready != nil {
-				ready.Mark(obs.GateFirstSync)
-			}
+		// The syncer's Jitter treats 0 as "use the default"; the flag's 0
+		// means "disable", which the syncer spells as negative.
+		jitter := *syncJitter
+		if jitter == 0 {
+			jitter = -1
+		}
+		y, err := svc.StartSyncer(service.SyncerConfig{
+			Peers:      peerAddrs,
+			Interval:   *syncInterval,
+			Timeout:    *syncTimeout,
+			BackoffMax: *syncBackoffMax,
+			Jitter:     jitter,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+			OnRound: func(exchanged bool) {
+				// first-sync flips on the first round with at least one
+				// successful peer exchange; a round where every peer was
+				// unreachable or rejected proves nothing was caught up on.
+				if exchanged && ready != nil {
+					ready.Mark(obs.GateFirstSync)
+				}
+			},
 		})
+		if err != nil {
+			return err
+		}
+		stopSync = y.Stop
 	}
 	waitForSignal()
 	// Graceful drain: stop accepting, let in-flight verifications finish,
@@ -527,94 +623,91 @@ func splitNonEmpty(s string) []string {
 	return out
 }
 
-// startAntiEntropy launches the verifier's pull loop: one round
-// immediately (a restarted verifier catches up before its cadence ticks),
-// then one round per interval, each round pulling the missing verdict
-// records from every peer. Each dial+exchange is bounded by timeout, not
-// by the cadence — a verifier catching up on a long outage must be able
-// to finish one big delta even on a sub-second interval. After every
-// completed round onRound reports whether at least one peer exchange
-// succeeded (an unreachable or rejecting peer does not count) — the hook
-// readiness hangs its first-sync gate on. The returned stop function
-// halts the loop and closes the peer clients; it is safe to call exactly
-// once.
-func startAntiEntropy(svc *service.Service, peers []string, interval, timeout time.Duration, onRound func(exchanged bool)) (stop func()) {
-	// loopCtx dies with the stop call, so an exchange in flight when the
-	// verifier shuts down is cancelled promptly instead of holding the
-	// drain hostage for up to -sync-timeout per unresponsive peer.
-	loopCtx, cancelLoop := context.WithCancel(context.Background())
-	exited := make(chan struct{})
-	go func() {
-		defer close(exited)
-		clients := make(map[string]transport.Client, len(peers))
-		defer func() {
-			for _, c := range clients {
-				_ = c.Close()
-			}
-		}()
-		// pullAll runs one round and reports how many peer exchanges
-		// succeeded; a round cut short by shutdown reports -1 so it is
-		// never counted as completed.
-		pullAll := func() (exchanged int) {
-			for _, addr := range peers {
-				if loopCtx.Err() != nil {
-					return -1 // shutting down: don't start the next peer
-				}
-				c, ok := clients[addr]
-				if !ok {
-					// Dial lazily and keep the client: the pool inside it
-					// re-dials a broken connection on the next round, so a
-					// peer that was down at startup joins when it comes up.
-					var err error
-					if c, err = transport.DialTCPPool(addr, timeout, 1); err != nil {
-						fmt.Printf("anti-entropy: %s unreachable: %v\n", addr, err)
-						continue
-					}
-					clients[addr] = c
-				}
-				ctx, cancel := context.WithTimeout(loopCtx, timeout)
-				n, err := quorum.Pull(ctx, svc, c)
-				cancel()
-				switch {
-				case loopCtx.Err() != nil:
-					return -1 // cancelled mid-exchange: not a peer failure
-				case err != nil:
-					fmt.Printf("anti-entropy: pull from %s: %v\n", addr, err)
-				default:
-					exchanged++
-					if n > 0 {
-						fmt.Printf("anti-entropy: pulled %d records from %s\n", n, addr)
-					}
-				}
-			}
-			return exchanged
+// byzantineProcedures builds a procedure registry whose every bundled
+// procedure lies: the honest procedure runs, then the verdict is
+// inverted. The lie is computed, persisted, and vouched for exactly like
+// a truth — the request is stored alongside it and deltas are signed —
+// which is precisely what lets an honest auditor replay the request,
+// refute the verdict, and convict the signer.
+func byzantineProcedures() *core.ProcedureRegistry {
+	procs := core.NewProcedureRegistry()
+	for _, format := range procs.Formats() {
+		inner, err := procs.Lookup(format)
+		if err != nil {
+			continue // unreachable: the format list came from the registry
 		}
-		round := func() {
-			n := pullAll()
-			if n < 0 {
-				return // aborted mid-round by shutdown
-			}
-			svc.NoteSyncRound()
-			if onRound != nil {
-				onRound(n > 0)
-			}
-		}
-		round()
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-loopCtx.Done():
-				return
-			case <-ticker.C:
-				round()
-			}
-		}
-	}()
-	return func() {
-		cancelLoop()
-		<-exited
+		procs.Register(lyingProcedure{inner: inner})
 	}
+	return procs
+}
+
+// lyingProcedure inverts the wrapped procedure's verdict.
+type lyingProcedure struct{ inner core.Procedure }
+
+func (l lyingProcedure) Format() string { return l.inner.Format() }
+
+func (l lyingProcedure) Verify(gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	v, err := l.inner.Verify(gameSpec, advice, proofBody)
+	if err != nil || v == nil {
+		return v, err
+	}
+	lied := *v
+	lied.Accepted = !v.Accepted
+	if lied.Accepted {
+		lied.Reason = ""
+	} else {
+		lied.Reason = "byzantine double: honest verdict inverted"
+	}
+	return &lied, nil
+}
+
+// runProvenance asks a running authority whose word it is serving: one
+// greppable line per vouching peer, with the trust policy's standing.
+func runProvenance(args []string) error {
+	fs := flag.NewFlagSet("provenance", flag.ExitOnError)
+	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
+	conns := fs.Int("conns", 1, "client connection-pool size")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := transport.DialTCPPool(*verifierAddr, *timeout, *conns)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	req, err := transport.NewMessage(service.MsgProvenance, struct{}{})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := client.Call(ctx, req)
+	if err != nil {
+		return err
+	}
+	var pr service.ProvenanceResponse
+	if err := resp.Decode(&pr); err != nil {
+		return err
+	}
+	signer := string(pr.Signer)
+	if signer == "" {
+		signer = "-"
+	}
+	fmt.Printf("verifier %q signer=%s peers=%d\n", pr.VerifierID, signer, len(pr.Peers))
+	for _, p := range pr.Peers {
+		id := string(p.ID)
+		if id == "" {
+			id = "(unattributed)"
+		}
+		state := p.State
+		if state == "" {
+			state = "untracked"
+		}
+		fmt.Printf("peer=%s records=%d state=%s reputation=%.3f refutations=%d\n",
+			id, p.Records, state, p.Reputation, p.Refutations)
+	}
+	return nil
 }
 
 // runQuorum fans one announcement out to a panel of verifiers and

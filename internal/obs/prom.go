@@ -150,6 +150,13 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 	p.counter("rationality_sync_deltas_served_total", "Sync-offer requests answered for peers.", st.DeltasServed)
 	p.counter("rationality_sync_rounds_total", "Completed anti-entropy passes over the peer list.", st.SyncRounds)
 
+	// Accountability counters: refutations caught at ingest, and the
+	// background audit re-verifier's activity.
+	p.counter("rationality_ingest_refutations_total", "Ingested records refused because they contradicted a locally verified verdict (each one charged to the vouching peer).", st.IngestRefutations)
+	p.counter("rationality_audits_total", "Ingested records re-verified by the background auditor.", st.Audits)
+	p.counter("rationality_audit_refutations_total", "Audits that refuted the vouched verdict: proven lies, charged and repaired.", st.AuditRefutations)
+	p.counter("rationality_audits_shed_total", "Audit samples dropped because the audit queue was full (lost coverage, never correctness).", st.AuditsShed)
+
 	writeLatencyHistogram(&p, st.Latency)
 
 	if ps := st.Persistence; ps != nil {
@@ -167,7 +174,8 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 
 	if fs := st.Federation; fs != nil {
 		p.gauge("rationality_federation_trusted_peers", "Peer-allowlist size; zero accepts any peer (intra-operator mode).", int64(fs.TrustedPeers))
-		p.family("rationality_federation_rejected_total", "Sync-deltas refused before ingest, by cause: unsigned, unknown-signer, bad-signature, corrupt.", "counter")
+		p.gauge("rationality_peers_quarantined", "Peers currently quarantined by the trust policy.", int64(fs.Quarantined))
+		p.family("rationality_federation_rejected_total", "Sync-deltas refused before ingest, by cause: unsigned, unknown-signer, bad-signature, corrupt, quarantined.", "counter")
 		for _, c := range []struct {
 			cause string
 			n     uint64
@@ -176,6 +184,7 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 			{"unknown-signer", fs.RejectedUnknown},
 			{"bad-signature", fs.RejectedBadSig},
 			{"corrupt", fs.RejectedCorrupt},
+			{"quarantined", fs.RejectedQuarantined},
 		} {
 			p.sample("rationality_federation_rejected_total", []promLabel{{"cause", c.cause}}, formatUint(c.n))
 		}
@@ -193,11 +202,81 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 			for _, id := range peerIDs {
 				p.sample("rationality_federation_peer_rejected_total", []promLabel{{"peer", id}}, formatUint(fs.Peers[id].Rejected))
 			}
+			// Trust standing per peer, present only when a trust policy is
+			// attached (State is empty otherwise).
+			tracked := make([]string, 0, len(peerIDs))
+			for _, id := range peerIDs {
+				if fs.Peers[id].State != "" {
+					tracked = append(tracked, id)
+				}
+			}
+			if len(tracked) > 0 {
+				p.family("rationality_peer_quarantined", "Whether the trust policy currently quarantines the peer: 1 refused, 0 ingesting (active or probation).", "gauge")
+				for _, id := range tracked {
+					v := "0"
+					if fs.Peers[id].State == "quarantined" {
+						v = "1"
+					}
+					p.sample("rationality_peer_quarantined", []promLabel{{"peer", id}}, v)
+				}
+				p.family("rationality_peer_reputation", "The peer's smoothed reputation in (0, 1) as the trust policy sees it.", "gauge")
+				for _, id := range tracked {
+					p.sample("rationality_peer_reputation", []promLabel{{"peer", id}}, formatSeconds(fs.Peers[id].Reputation))
+				}
+				p.family("rationality_peer_refutations_total", "Proven lies charged to the peer: ingest contradictions plus audit refutations.", "counter")
+				for _, id := range tracked {
+					p.sample("rationality_peer_refutations_total", []promLabel{{"peer", id}}, formatUint(fs.Peers[id].Refutations))
+				}
+			}
 		}
 	}
 
+	writeSyncPeers(&p, st.SyncPeers)
+
 	_, err := io.WriteString(w, p.b.String())
 	return err
+}
+
+// writeSyncPeers renders the resilient sync loop's per-peer breaker view:
+// a one-hot state family plus the attempt, failure and skip counters the
+// no-dial-storm property is observable through. Peers are labeled by
+// configured address — stable from the first round, before any exchange
+// has proven which signing identity the address speaks for.
+func writeSyncPeers(p *promWriter, peers []service.SyncPeerStats) {
+	if len(peers) == 0 {
+		return
+	}
+	p.family("rationality_sync_peer_state", "Sync-loop breaker state per peer, one-hot across healthy/degraded/open.", "gauge")
+	for _, sp := range peers {
+		for _, state := range []string{service.SyncHealthy, service.SyncDegraded, service.SyncOpen} {
+			v := "0"
+			if sp.State == state {
+				v = "1"
+			}
+			p.sample("rationality_sync_peer_state", []promLabel{{"peer", sp.Address}, {"state", state}}, v)
+		}
+	}
+	p.family("rationality_sync_peer_backoff_seconds", "Remaining backoff window before the peer is due another attempt (0 when due now).", "gauge")
+	for _, sp := range peers {
+		p.sample("rationality_sync_peer_backoff_seconds", []promLabel{{"peer", sp.Address}}, formatSeconds(sp.Backoff.Seconds()))
+	}
+	p.family("rationality_sync_peer_attempts_total", "Pulls actually started against the peer.", "counter")
+	for _, sp := range peers {
+		p.sample("rationality_sync_peer_attempts_total", []promLabel{{"peer", sp.Address}}, formatUint(sp.Attempts))
+	}
+	p.family("rationality_sync_peer_failed_total", "Pull attempts against the peer that errored.", "counter")
+	for _, sp := range peers {
+		p.sample("rationality_sync_peer_failed_total", []promLabel{{"peer", sp.Address}}, formatUint(sp.Failed))
+	}
+	p.family("rationality_sync_peer_pulled_records_total", "Records applied from the peer by the sync loop.", "counter")
+	for _, sp := range peers {
+		p.sample("rationality_sync_peer_pulled_records_total", []promLabel{{"peer", sp.Address}}, formatUint(sp.Pulled))
+	}
+	p.family("rationality_sync_peer_skipped_total", "Rounds that skipped the peer without dialing, by reason: backoff window still open, or quarantined by the trust policy.", "counter")
+	for _, sp := range peers {
+		p.sample("rationality_sync_peer_skipped_total", []promLabel{{"peer", sp.Address}, {"reason", "backoff"}}, formatUint(sp.SkippedBackoff))
+		p.sample("rationality_sync_peer_skipped_total", []promLabel{{"peer", sp.Address}, {"reason", "quarantine"}}, formatUint(sp.SkippedQuarantine))
+	}
 }
 
 // writeLatencyHistogram renders the log2 latency summary as a native

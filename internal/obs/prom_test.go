@@ -43,24 +43,28 @@ func fixtureStats() service.Stats {
 		Buckets: []uint64{0, 0, 0, 0, 0, 0, 0, 0, 0, 100, 18, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2},
 	}
 	return service.Stats{
-		Requests:     120,
-		Batches:      3,
-		CacheHits:    90,
-		CacheMisses:  30,
-		Deduplicated: 7,
-		Ingested:     12,
-		DeltasServed: 4,
-		SyncRounds:   9,
-		Accepted:     100,
-		Rejected:     18,
-		Failures:     2,
-		InFlight:     1,
-		PeakInFlight: 8,
-		CacheEntries: 5,
-		CacheShards:  4,
-		ShardEntries: []int{2, 1, 0, 2},
-		Workers:      4,
-		Latency:      lat,
+		Requests:          120,
+		Batches:           3,
+		CacheHits:         90,
+		CacheMisses:       30,
+		Deduplicated:      7,
+		Ingested:          12,
+		DeltasServed:      4,
+		SyncRounds:        9,
+		IngestRefutations: 2,
+		Audits:            10,
+		AuditRefutations:  3,
+		AuditsShed:        1,
+		Accepted:          100,
+		Rejected:          18,
+		Failures:          2,
+		InFlight:          1,
+		PeakInFlight:      8,
+		CacheEntries:      5,
+		CacheShards:       4,
+		ShardEntries:      []int{2, 1, 0, 2},
+		Workers:           4,
+		Latency:           lat,
 		Persistence: &store.Stats{
 			Persisted:        30,
 			Replayed:         5,
@@ -74,18 +78,30 @@ func fixtureStats() service.Stats {
 			SalvagedBytes:    128,
 		},
 		Federation: &service.FederationStats{
-			Signer:           "aa11aa11",
-			TrustedPeers:     2,
-			RejectedUnsigned: 1,
-			RejectedUnknown:  3,
-			RejectedBadSig:   0,
-			RejectedCorrupt:  1,
+			Signer:              "aa11aa11",
+			TrustedPeers:        2,
+			RejectedUnsigned:    1,
+			RejectedUnknown:     3,
+			RejectedBadSig:      0,
+			RejectedCorrupt:     1,
+			RejectedQuarantined: 2,
+			Quarantined:         1,
 			Peers: map[string]service.PeerSyncStats{
-				"bb22bb22": {Deltas: 4, Records: 12, Rejected: 0},
+				"bb22bb22": {Deltas: 4, Records: 12, Rejected: 2,
+					Refutations: 3, Reputation: 0.2, State: "quarantined"},
 				// A hostile peer ID exercising every label escape: quote,
 				// backslash, newline.
 				"evil\"peer\\one\n": {Deltas: 0, Records: 0, Rejected: 3},
 			},
+		},
+		SyncPeers: []service.SyncPeerStats{
+			{
+				Address: "10.0.0.2:7002", Signer: "bb22bb22", State: "open",
+				ConsecutiveFailures: 3, Backoff: 1500 * time.Millisecond,
+				Attempts: 9, Pulled: 12, Failed: 5,
+				SkippedBackoff: 40, SkippedQuarantine: 2,
+			},
+			{Address: "10.0.0.3:7002", State: "healthy", Attempts: 11, Pulled: 30},
 		},
 	}
 }

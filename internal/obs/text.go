@@ -34,14 +34,30 @@ func WriteText(w io.Writer, st service.Stats) {
 		fmt.Fprintf(w, "persistence: compactions=%d compactedRecords=%d salvagedBytes=%d\n",
 			p.Compactions, p.CompactedRecords, p.SalvagedBytes)
 	}
+	if st.Audits > 0 || st.AuditRefutations > 0 || st.AuditsShed > 0 || st.IngestRefutations > 0 {
+		fmt.Fprintf(w, "accountability: audits=%d auditRefutations=%d auditsShed=%d ingestRefutations=%d\n",
+			st.Audits, st.AuditRefutations, st.AuditsShed, st.IngestRefutations)
+	}
 	if f := st.Federation; f != nil {
 		fmt.Fprintf(w, "federation: signer=%s trustedPeers=%d rejectedUnsigned=%d rejectedUnknown=%d rejectedBadSig=%d rejectedCorrupt=%d\n",
 			f.Signer, f.TrustedPeers, f.RejectedUnsigned, f.RejectedUnknown, f.RejectedBadSig, f.RejectedCorrupt)
+		if f.Quarantined > 0 || f.RejectedQuarantined > 0 {
+			fmt.Fprintf(w, "federation: quarantined=%d rejectedQuarantined=%d\n",
+				f.Quarantined, f.RejectedQuarantined)
+		}
 		for _, id := range sortedKeys(f.Peers) {
 			p := f.Peers[id]
 			fmt.Fprintf(w, "federation: peer %s deltas=%d records=%d rejected=%d\n",
 				id, p.Deltas, p.Records, p.Rejected)
+			if p.State != "" {
+				fmt.Fprintf(w, "federation: trust %s state=%s reputation=%.3f refutations=%d\n",
+					id, p.State, p.Reputation, p.Refutations)
+			}
 		}
+	}
+	for _, sp := range st.SyncPeers {
+		fmt.Fprintf(w, "sync: peer %s state=%s attempts=%d pulled=%d failed=%d skippedBackoff=%d skippedQuarantine=%d\n",
+			sp.Address, sp.State, sp.Attempts, sp.Pulled, sp.Failed, sp.SkippedBackoff, sp.SkippedQuarantine)
 	}
 }
 
@@ -128,7 +144,7 @@ func fedRejected(st service.Stats) uint64 {
 	if f == nil {
 		return 0
 	}
-	return f.RejectedUnsigned + f.RejectedUnknown + f.RejectedBadSig + f.RejectedCorrupt
+	return f.RejectedUnsigned + f.RejectedUnknown + f.RejectedBadSig + f.RejectedCorrupt + f.RejectedQuarantined
 }
 
 // WatchHeader is the column header of the watch view; the watch loop

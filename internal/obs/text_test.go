@@ -24,7 +24,12 @@ func TestWriteTextStableLines(t *testing.T) {
 		"cache: 4 shards, per-shard entries [2 1 0 2]",
 		"persistence: persisted=30 replayed=5 ingested=12 dropped=1 failed=0 live=35 garbage=3",
 		"federation: signer=aa11aa11 trustedPeers=2 rejectedUnsigned=1 rejectedUnknown=3 rejectedBadSig=0 rejectedCorrupt=1",
-		"federation: peer bb22bb22 deltas=4 records=12 rejected=0",
+		"federation: quarantined=1 rejectedQuarantined=2",
+		"federation: peer bb22bb22 deltas=4 records=12 rejected=2",
+		"accountability: audits=10 auditRefutations=3 auditsShed=1 ingestRefutations=2",
+		"federation: trust bb22bb22 state=quarantined reputation=0.200 refutations=3",
+		"sync: peer 10.0.0.2:7002 state=open attempts=9 pulled=12 failed=5 skippedBackoff=40 skippedQuarantine=2",
+		"sync: peer 10.0.0.3:7002 state=healthy attempts=11 pulled=30 failed=0 skippedBackoff=0 skippedQuarantine=0",
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("text rendering missing line %q\ngot:\n%s", want, out)

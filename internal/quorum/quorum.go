@@ -176,6 +176,19 @@ func (q *Client) Verify(ctx context.Context, req core.VerifyRequest) (*Result, e
 		a := <-answers
 		if a.err != nil {
 			abstained = append(abstained, a.id)
+			// A member that ran out the per-member timeout while the
+			// panel's own deadline still stood was unresponsive, and that
+			// is worth recording: reputation.ReportUnresponsive is a
+			// bounded, half-weight charge (slowness is evidence of flak-
+			// iness, not of lying), so a member that repeatedly times out
+			// decays toward the consultation threshold instead of keeping
+			// a pristine score by never answering. When the caller's own
+			// context expired, every member "timed out" — that proves
+			// nothing about any of them, so nothing is recorded.
+			if ctx.Err() == nil && errors.Is(a.err, context.DeadlineExceeded) {
+				q.registry.ReportUnresponsive(a.id,
+					fmt.Sprintf("quorum: consultation timed out after %s", q.timeout))
+			}
 			continue
 		}
 		verdicts[a.id] = *a.verdict

@@ -2,7 +2,6 @@ package quorum
 
 import (
 	"context"
-	"fmt"
 
 	"rationality/internal/service"
 	"rationality/internal/transport"
@@ -24,28 +23,10 @@ import (
 // A failed peer — or one whose delta the gate rejects — costs the round
 // an error, never local state.
 func Pull(ctx context.Context, svc *service.Service, peer transport.Client) (int, error) {
-	offer, err := svc.SyncOffer()
-	if err != nil {
-		return 0, err
-	}
-	req, err := transport.NewMessage(service.MsgSyncOffer, offer)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := peer.Call(ctx, req)
-	if err != nil {
-		return 0, fmt.Errorf("quorum: sync-offer exchange: %w", err)
-	}
-	if resp.Type != service.MsgSyncDelta {
-		return 0, fmt.Errorf("quorum: peer answered sync-offer with %q, want %q", resp.Type, service.MsgSyncDelta)
-	}
-	var delta service.SyncDeltaResponse
-	if err := resp.Decode(&delta); err != nil {
-		return 0, err
-	}
 	// The gate rejects before ingest: an unsigned or mis-signed delta (or
 	// a corrupt frame — a bad peer or transport, since nothing crashed
 	// here) leaves the local log untouched, and the peer re-serves the
 	// whole delta next round.
-	return svc.IngestDelta(offer, delta)
+	n, _, err := svc.PullFrom(ctx, peer)
+	return n, err
 }

@@ -28,11 +28,29 @@ import (
 type Score struct {
 	Agreements    int
 	Disagreements int
+	// Unresponsive counts timeouts: the party was asked and never answered.
+	// Silence is weaker evidence than a wrong answer — a network partition
+	// looks identical to a stalling adversary — so unresponsiveness drags
+	// the denominator at half weight and only up to UnresponsiveCap, giving
+	// a dead-but-honest party a bounded floor a liar falls straight through.
+	Unresponsive int
 }
+
+// UnresponsiveWeight is the denominator weight of one unresponsive report
+// relative to a disagreement (which weighs 1).
+const UnresponsiveWeight = 0.5
+
+// UnresponsiveCap bounds how many unresponsive reports count against a
+// party. At the cap, an otherwise-clean party's reputation floors at
+// 1/(2+Cap·Weight) = 0.2 — below most quorum thresholds but above where a
+// proven liar lands, so timeouts alone degrade trust without forging
+// evidence of dishonesty.
+const UnresponsiveCap = 6
 
 // Reputation returns the smoothed estimate in (0, 1).
 func (s Score) Reputation() float64 {
-	return float64(s.Agreements+1) / float64(s.Agreements+s.Disagreements+2)
+	penalty := float64(min(s.Unresponsive, UnresponsiveCap)) * UnresponsiveWeight
+	return float64(s.Agreements+1) / (float64(s.Agreements+s.Disagreements+2) + penalty)
 }
 
 // Registry is a concurrent-safe reputation store keyed by party identifier.
@@ -64,6 +82,9 @@ const (
 	// Misbehaved: a verifiable offence (forged proof, false advice, broken
 	// commitment) with evidence in Details.
 	Misbehaved
+	// Unresponsive: the party timed out when consulted. Counted at reduced,
+	// capped weight — see Score.Unresponsive.
+	Unresponsive
 )
 
 func (k EventKind) String() string {
@@ -74,6 +95,8 @@ func (k EventKind) String() string {
 		return "disagreed"
 	case Misbehaved:
 		return "misbehaved"
+	case Unresponsive:
+		return "unresponsive"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -136,6 +159,20 @@ func (r *Registry) ReportMisbehaviour(party, evidence string) {
 	s.Disagreements++
 	r.scores[party] = s
 	r.log = append(r.log, Event{Time: r.now(), Party: party, Kind: Misbehaved, Details: evidence})
+}
+
+// ReportUnresponsive records that a party timed out when consulted, with
+// the circumstances in evidence. Unlike ReportMisbehaviour this is NOT
+// proof of dishonesty — the charge is half-weight and capped (see
+// Score.Unresponsive), so repeated timeouts decay trust more slowly than
+// lying and bottom out instead of saturating.
+func (r *Registry) ReportUnresponsive(party, evidence string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scores[party]
+	s.Unresponsive++
+	r.scores[party] = s
+	r.log = append(r.log, Event{Time: r.now(), Party: party, Kind: Unresponsive, Details: evidence})
 }
 
 // Events returns a copy of the audit log in chronological order.

@@ -327,3 +327,56 @@ func TestReputationConvergence(t *testing.T) {
 		t.Errorf("dissenter at %f, want < 0.1", r.Reputation("liar"))
 	}
 }
+
+// Unresponsiveness decays trust at half weight and bottoms out at the cap:
+// a dead-but-honest party keeps a floor a proven liar falls through.
+func TestReportUnresponsiveBoundedDecay(t *testing.T) {
+	r := NewRegistryWithClock(fixedClock())
+
+	r.ReportUnresponsive("slow", "timed out after 10ms")
+	gotOne := r.Reputation("slow")
+	if want := 1.0 / 2.5; gotOne != want {
+		t.Errorf("one timeout: reputation=%f, want %f", gotOne, want)
+	}
+
+	// Slower than lying: one disagreement costs more than one timeout.
+	r.ReportMisbehaviour("liar", "served a refuted verdict")
+	if lied := r.Reputation("liar"); lied >= gotOne {
+		t.Errorf("one lie (%f) should cost more than one timeout (%f)", lied, gotOne)
+	}
+
+	// Bounded: past the cap, further timeouts change nothing.
+	for i := 0; i < 3*UnresponsiveCap; i++ {
+		r.ReportUnresponsive("slow", "timed out")
+	}
+	floor := 1.0 / (2.0 + float64(UnresponsiveCap)*UnresponsiveWeight)
+	if got := r.Reputation("slow"); got != floor {
+		t.Errorf("capped timeouts: reputation=%f, want floor %f", got, floor)
+	}
+
+	// A liar charged the same number of times has no such floor.
+	for i := 0; i < 3*UnresponsiveCap; i++ {
+		r.ReportMisbehaviour("liar", "served a refuted verdict")
+	}
+	if r.Reputation("liar") >= r.Reputation("slow") {
+		t.Errorf("liar (%f) should sit below the unresponsive floor (%f)",
+			r.Reputation("liar"), r.Reputation("slow"))
+	}
+
+	// The audit log names the timeouts with their evidence.
+	var unresponsive int
+	for _, e := range r.Events() {
+		if e.Kind == Unresponsive {
+			unresponsive++
+			if e.Details == "" {
+				t.Error("unresponsive event lost its evidence")
+			}
+		}
+	}
+	if unresponsive != 3*UnresponsiveCap+1 {
+		t.Errorf("logged %d unresponsive events, want %d", unresponsive, 3*UnresponsiveCap+1)
+	}
+	if Unresponsive.String() != "unresponsive" {
+		t.Errorf("Unresponsive.String() = %q", Unresponsive.String())
+	}
+}

@@ -1,0 +1,399 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rationality/internal/identity"
+	"rationality/internal/reputation"
+	"rationality/internal/transport"
+	"rationality/internal/trust"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newTrustPolicy builds a trust policy over a fresh registry, persisted
+// under the test's temp dir.
+func newTrustPolicy(t *testing.T, dir string) *trust.Policy {
+	t.Helper()
+	pol, err := trust.New(trust.Config{
+		Registry: reputation.NewRegistry(),
+		Path:     dir + "/trust.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// newLyingService starts a keyed, persisted service whose counting
+// procedure rejects what honest verifiers accept: every verdict it
+// vouches for is a provable lie under local re-verification.
+func newLyingService(t *testing.T, id string, key *identity.KeyPair) *Service {
+	t.Helper()
+	s := newTestService(t, Config{ID: id, PersistPath: t.TempDir(), Key: key})
+	s.Register(&countingProc{format: "counting/v1", accept: false})
+	return s
+}
+
+// verifyPayloads runs one verification per payload on s.
+func verifyPayloads(t *testing.T, s *Service, tag string, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		ann := announcementFor("inv", fmt.Sprintf(`{"%s":%d}`, tag, i))
+		if _, err := s.VerifyAnnouncement(ctx, ann); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The accountability loop end to end: a Byzantine peer's vouched verdicts
+// are ingested, the audit re-verifier refutes them one by one, the trust
+// policy quarantines the peer by evidence, the federation gate then
+// refuses its deltas, and the lies themselves are repaired in the local
+// log and cache.
+func TestAuditRefutationQuarantinesLyingPeer(t *testing.T) {
+	const lies = 4
+	keyA, keyZ := testKeyPair(t), testKeyPair(t)
+	byzID := string(keyZ.ID())
+
+	z := newLyingService(t, "byz", keyZ)
+	verifyPayloads(t, z, "z", lies)
+
+	dir := t.TempDir()
+	pol := newTrustPolicy(t, dir)
+	a := newTestService(t, Config{
+		ID: "honest", PersistPath: dir, Key: keyA,
+		PeerKeys: []identity.PartyID{keyZ.ID()},
+		Trust:    pol, AuditRate: 1,
+	})
+	a.Register(&countingProc{format: "counting/v1", accept: true})
+
+	applied, err := signedPull(t, a, z)
+	if err != nil {
+		t.Fatalf("pull from byzantine peer: %v", err)
+	}
+	if applied != lies {
+		t.Fatalf("applied %d records, want %d", applied, lies)
+	}
+
+	// Every ingested lie is audited (AuditRate 1); the third refutation
+	// drops the peer's reputation below the default threshold.
+	waitFor(t, 5*time.Second, "audit refutations to quarantine the peer", func() bool {
+		return pol.State(byzID) == trust.Quarantined
+	})
+	waitFor(t, 5*time.Second, "all audits to drain", func() bool {
+		return a.Stats().Audits >= lies
+	})
+
+	st := a.Stats()
+	if st.AuditRefutations < 3 {
+		t.Fatalf("AuditRefutations = %d, want >= 3", st.AuditRefutations)
+	}
+	if st.Federation == nil || st.Federation.Quarantined != 1 {
+		t.Fatalf("Federation.Quarantined = %+v, want 1", st.Federation)
+	}
+	peer, ok := st.Federation.Peers[byzID]
+	if !ok {
+		t.Fatalf("no federation stats for byzantine peer %s", byzID)
+	}
+	if peer.State != string(trust.Quarantined) || peer.Refutations < 3 {
+		t.Fatalf("peer stats = %+v, want quarantined with >= 3 refutations", peer)
+	}
+
+	// The lies were repaired: local re-verification's verdicts replaced
+	// the vouched ones in cache and log, so the service now answers true.
+	for i := 0; i < lies; i++ {
+		v, err := a.VerifyAnnouncement(context.Background(), announcementFor("inv", fmt.Sprintf(`{"z":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Accepted {
+			t.Fatalf("record %d still carries the Byzantine verdict after repair", i)
+		}
+	}
+
+	// The gate now refuses the quarantined signer's deltas outright.
+	if _, err := signedPull(t, a, z); !errors.Is(err, ErrPeerQuarantined) {
+		t.Fatalf("pull after quarantine: err = %v, want ErrPeerQuarantined", err)
+	}
+	st = a.Stats()
+	if st.Federation.RejectedQuarantined != 1 {
+		t.Fatalf("RejectedQuarantined = %d, want 1", st.Federation.RejectedQuarantined)
+	}
+	if st.Federation.Peers[byzID].Rejected != 1 {
+		t.Fatalf("peer Rejected = %d, want 1", st.Federation.Peers[byzID].Rejected)
+	}
+
+	// Provenance report: the quarantined voucher is named, with standing.
+	rep, err := a.ProvenanceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Peers {
+		if p.ID == keyZ.ID() {
+			found = true
+			// Records may be zero: the audit repairs superseded every one
+			// of the liar's live records. The standing is what persists.
+			if p.State != string(trust.Quarantined) || p.Refutations < 3 {
+				t.Fatalf("provenance peer = %+v, want quarantined with >= 3 refutations", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("provenance report omits the byzantine voucher: %+v", rep.Peers)
+	}
+}
+
+// The resilient sync loop under fire: one Byzantine voucher, one flaky
+// (chaos-injected) link to an honest peer. The liar is quarantined by
+// audit evidence and skipped without dialing, while honest convergence
+// continues across the drops.
+func TestByzantineFederationConvergesOverFlakyLink(t *testing.T) {
+	const honestRecords, lies = 6, 4
+	keyA, keyB, keyZ := testKeyPair(t), testKeyPair(t), testKeyPair(t)
+	byzID := string(keyZ.ID())
+
+	b := newKeyedService(t, "honest-b", keyB, keyA.ID())
+	verifyPayloads(t, b, "b", honestRecords)
+	z := newLyingService(t, "byz", keyZ)
+	verifyPayloads(t, z, "z", lies)
+
+	dir := t.TempDir()
+	pol := newTrustPolicy(t, dir)
+	a := newTestService(t, Config{
+		ID: "honest-a", PersistPath: dir, Key: keyA,
+		PeerKeys: []identity.PartyID{keyB.ID(), keyZ.ID()},
+		Trust:    pol, AuditRate: 1,
+	})
+	a.Register(&countingProc{format: "counting/v1", accept: true})
+
+	// The link to the honest peer is flaky: a fresh fault sequence per
+	// (re-)dial, ~30% of calls dropped. The byzantine link is clean — its
+	// records arrive fine; it is the evidence in them that convicts.
+	var drops atomic.Uint64
+	var dialSeq atomic.Int64
+	dial := func(addr string) (transport.Client, error) {
+		switch addr {
+		case "byz":
+			return transport.DialInProc(z), nil
+		case "honest-b":
+			c := transport.Chaos(transport.DialInProc(b), transport.ChaosConfig{
+				Seed: 41 + dialSeq.Add(1),
+				Drop: 0.3,
+			})
+			return chaosCounter{c, &drops}, nil
+		default:
+			return nil, fmt.Errorf("unknown test peer %q", addr)
+		}
+	}
+	y, err := a.StartSyncer(SyncerConfig{
+		Peers:      []string{"byz", "honest-b"},
+		Interval:   5 * time.Millisecond,
+		BackoffMax: 40 * time.Millisecond,
+		Jitter:     -1,
+		Seed:       1,
+		Dial:       dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Stop()
+
+	offerLen := func() int {
+		offer, err := a.SyncOffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(offer.Have)
+	}
+	waitFor(t, 15*time.Second, "liar quarantined, honest log converged, chaos exercised", func() bool {
+		return pol.State(byzID) == trust.Quarantined &&
+			offerLen() == honestRecords+lies &&
+			drops.Load() > 0
+	})
+
+	// The loop stops dialing the quarantined signer once it knows who the
+	// address speaks for; the honest peer keeps converging regardless.
+	waitFor(t, 5*time.Second, "sync loop to skip the quarantined peer without dialing", func() bool {
+		for _, p := range y.Snapshot() {
+			if p.Address == "byz" && p.SkippedQuarantine > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if st := pol.State(string(keyB.ID())); st != trust.Active {
+		t.Fatalf("honest peer standing = %s, want active (clean audits must credit)", st)
+	}
+	st := a.Stats()
+	if st.SyncPeers == nil {
+		t.Fatal("Stats().SyncPeers empty while the syncer is running")
+	}
+}
+
+// chaosCounter folds a chaos client's drop count into a shared total as
+// calls fail, so the test can assert the flaky link actually fired even
+// though the breaker discards and re-dials clients.
+type chaosCounter struct {
+	*transport.ChaosClient
+	drops *atomic.Uint64
+}
+
+func (c chaosCounter) Call(ctx context.Context, req transport.Message) (transport.Message, error) {
+	resp, err := c.ChaosClient.Call(ctx, req)
+	if errors.Is(err, transport.ErrInjectedDrop) {
+		c.drops.Add(1)
+	}
+	return resp, err
+}
+
+// A dead peer must not be dialed once per tick: the backoff window and
+// circuit breaker bound the attempts while rounds keep passing.
+func TestSyncerDeadPeerBacksOff(t *testing.T) {
+	a := newTestService(t, Config{ID: "a", PersistPath: t.TempDir()})
+	var dials atomic.Uint64
+	y, err := a.StartSyncer(SyncerConfig{
+		Peers:      []string{"dead"},
+		Interval:   2 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond,
+		Jitter:     -1,
+		Seed:       1,
+		Dial: func(addr string) (transport.Client, error) {
+			dials.Add(1)
+			return nil, errors.New("connection refused")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Stop()
+
+	waitFor(t, 10*time.Second, "breaker to open and backoff skips to accumulate", func() bool {
+		peers := y.Snapshot()
+		return len(peers) == 1 && peers[0].State == SyncOpen && peers[0].SkippedBackoff >= 5
+	})
+	time.Sleep(50 * time.Millisecond)
+	y.Stop()
+
+	p := y.Snapshot()[0]
+	if p.ConsecutiveFailures < DefaultBreakerThreshold {
+		t.Fatalf("ConsecutiveFailures = %d, want >= %d", p.ConsecutiveFailures, DefaultBreakerThreshold)
+	}
+	if p.Attempts != uint64(dials.Load()) {
+		t.Fatalf("attempts %d != dials %d: every attempt against a dead peer is a dial", p.Attempts, dials.Load())
+	}
+	if p.SkippedBackoff <= p.Attempts {
+		t.Fatalf("dial storm: %d attempts vs only %d backoff skips over %d rounds",
+			p.Attempts, p.SkippedBackoff, p.Attempts+p.SkippedBackoff)
+	}
+}
+
+// A peer that vouches against this authority's own locally verified
+// verdict is refused at ingest and charged immediately — no audit needed,
+// the contradiction is the evidence.
+func TestIngestRefutationChargesVouchingPeer(t *testing.T) {
+	keyA, keyZ := testKeyPair(t), testKeyPair(t)
+	byzID := string(keyZ.ID())
+
+	// Padding records push the clashing record's stamp past the honest
+	// authority's copy, so the sync delta actually carries it.
+	z := newLyingService(t, "byz", keyZ)
+	verifyPayloads(t, z, "pad", 3)
+	verifyPayloads(t, z, "clash", 1)
+
+	dir := t.TempDir()
+	pol := newTrustPolicy(t, dir)
+	a := newTestService(t, Config{
+		ID: "honest", PersistPath: dir, Key: keyA,
+		PeerKeys: []identity.PartyID{keyZ.ID()},
+		Trust:    pol,
+	})
+	a.Register(&countingProc{format: "counting/v1", accept: true})
+	verifyPayloads(t, a, "clash", 1) // same announcement, honest verdict
+
+	applied, err := signedPull(t, a, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d records, want 3 (the padding): the contradiction must be refused", applied)
+	}
+	if got := a.Stats().IngestRefutations; got != 1 {
+		t.Fatalf("IngestRefutations = %d, want 1", got)
+	}
+	status := pol.Status(byzID)
+	if status.Refutations != 1 {
+		t.Fatalf("trust refutations = %d, want 1", status.Refutations)
+	}
+	if v, err := a.VerifyAnnouncement(context.Background(), announcementFor("inv", `{"clash":0}`)); err != nil || !v.Accepted {
+		t.Fatalf("local verdict flipped by a refused record: v=%+v err=%v", v, err)
+	}
+}
+
+// A quarantine outlives the process that proved it: a fresh service over
+// a reloaded trust policy reports the peer quarantined — in Stats and in
+// the provenance report — with zero sync traffic.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const peer = "did:rationality:liar"
+
+	pol := newTrustPolicy(t, dir)
+	for i := 0; i < 3; i++ {
+		pol.Charge(peer, "test: proven refutation")
+	}
+	if pol.State(peer) != trust.Quarantined {
+		t.Fatalf("peer standing = %s after 3 charges, want quarantined", pol.State(peer))
+	}
+
+	// "Restart": a new policy loads the persisted state file; the new
+	// service sees the quarantine without a single exchange.
+	reloaded, err := trust.New(trust.Config{
+		Registry: reputation.NewRegistry(),
+		Path:     dir + "/trust.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.State(peer) != trust.Quarantined {
+		t.Fatalf("reloaded standing = %s, want quarantined", reloaded.State(peer))
+	}
+	s := newTestService(t, Config{ID: "svc", PersistPath: t.TempDir(), Trust: reloaded})
+	st := s.Stats()
+	if st.Federation == nil || st.Federation.Quarantined != 1 {
+		t.Fatalf("Federation after restart = %+v, want Quarantined=1", st.Federation)
+	}
+	if got := st.Federation.Peers[peer].State; got != string(trust.Quarantined) {
+		t.Fatalf("peer state after restart = %q, want quarantined", got)
+	}
+	rep, err := s.ProvenanceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Peers {
+		if string(p.ID) == peer && p.State == string(trust.Quarantined) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("provenance after restart omits the quarantined peer: %+v", rep.Peers)
+	}
+}

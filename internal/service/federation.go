@@ -39,8 +39,17 @@ type PeerSyncStats struct {
 	Deltas  uint64 `json:"deltas"`
 	Records uint64 `json:"records"`
 	// Rejected counts this peer's deltas refused before ingest — bad
-	// signature, unlisted key, or corrupt record frames.
+	// signature, unlisted key, corrupt record frames, or a quarantined
+	// standing.
 	Rejected uint64 `json:"rejected"`
+	// Refutations counts proven lies charged to this peer (contradictions
+	// refused at ingest plus audit mismatches); Reputation and State are
+	// the trust policy's live view of the peer. All three are merged in
+	// from the trust policy by Stats and are zero/empty when the service
+	// runs without one.
+	Refutations uint64  `json:"refutations,omitempty"`
+	Reputation  float64 `json:"reputation,omitempty"`
+	State       string  `json:"state,omitempty"`
 }
 
 // FederationStats is the trust-boundary half of a service's Stats: who
@@ -63,6 +72,12 @@ type FederationStats struct {
 	RejectedUnknown  uint64 `json:"rejectedUnknown"`
 	RejectedBadSig   uint64 `json:"rejectedBadSig"`
 	RejectedCorrupt  uint64 `json:"rejectedCorrupt"`
+	// RejectedQuarantined counts deltas whose signature verified but whose
+	// signer the trust policy had quarantined; Quarantined is how many
+	// peers are currently in that state. Both stay zero without a trust
+	// policy (Config.Trust).
+	RejectedQuarantined uint64 `json:"rejectedQuarantined,omitempty"`
+	Quarantined         int    `json:"quarantined,omitempty"`
 	// Peers breaks accepted and rejected deltas down by signer identity.
 	Peers map[string]PeerSyncStats `json:"peers,omitempty"`
 }
@@ -139,6 +154,19 @@ func (f *federation) countReject(signer identity.PartyID, bucket *uint64) {
 	if signer != "" {
 		f.peer(signer).Rejected++
 	}
+}
+
+// countRejectPeer attributes one refused delta to a signer without a
+// federation-level cause bucket — used for quarantine refusals, whose
+// bucket lives in the service metrics (the trust policy can run without
+// a federation config).
+func (f *federation) countRejectPeer(signer identity.PartyID) {
+	if signer == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peer(signer).Rejected++
 }
 
 // snapshot assembles the FederationStats view.

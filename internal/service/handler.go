@@ -24,7 +24,37 @@ const (
 	MsgSyncOffer = "sync-offer"
 	// MsgSyncDelta is the reply type to a sync-offer.
 	MsgSyncDelta = "sync-delta"
+	// MsgProvenance: operator → service. Empty payload; reply
+	// "provenance" with ProvenanceResponse — whose word this authority is
+	// serving, one line per vouching peer with its trust standing.
+	MsgProvenance = "provenance"
 )
+
+// ProvenancePeer is one vouching party in a ProvenanceResponse: how many
+// live records it accounts for, joined with the trust policy's view of
+// it when one is attached.
+type ProvenancePeer struct {
+	// ID is the vouching party (empty for unattributed pre-federation
+	// records).
+	ID identity.PartyID `json:"id"`
+	// Records is how many live verdict-log records carry this origin.
+	Records uint64 `json:"records"`
+	// Reputation, State and Refutations are the trust policy's standing
+	// for the peer; State is empty when the service runs without a trust
+	// policy (or for this authority's own records).
+	Reputation  float64 `json:"reputation,omitempty"`
+	State       string  `json:"state,omitempty"`
+	Refutations uint64  `json:"refutations,omitempty"`
+}
+
+// ProvenanceResponse is the provenance report on the wire: the answering
+// authority, its own signing identity, and every vouching party sorted
+// by ID.
+type ProvenanceResponse struct {
+	VerifierID string           `json:"verifierId"`
+	Signer     identity.PartyID `json:"signer,omitempty"`
+	Peers      []ProvenancePeer `json:"peers"`
+}
 
 // SyncEntry is one manifest line in a sync-offer: a 32-byte verdict-log
 // key (identity.Hash), the newest stamp the requester holds for it, and
@@ -119,6 +149,12 @@ func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.
 		})
 	case MsgServiceStats:
 		return transport.NewMessage("stats", StatsResponse{VerifierID: s.id, Stats: s.Stats()})
+	case MsgProvenance:
+		report, err := s.ProvenanceReport()
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("provenance", report)
 	case MsgSyncOffer:
 		var offer SyncOfferRequest
 		if err := req.Decode(&offer); err != nil {

@@ -30,11 +30,21 @@ type metrics struct {
 	ingested     atomic.Uint64
 	deltasServed atomic.Uint64
 	syncRounds   atomic.Uint64
-	accepted     atomic.Uint64
-	rejected     atomic.Uint64
-	failures     atomic.Uint64
-	inFlight     atomic.Int64
-	peakInFlight atomic.Int64
+
+	// Accountability counters: deltas refused for a quarantined signer,
+	// records refused at ingest for contradicting a locally verified
+	// verdict, audits run, audit contradictions (proven lies), and audit
+	// samples shed by a saturated auditor queue.
+	rejectedQuarantined atomic.Uint64
+	ingestRefutations   atomic.Uint64
+	audits              atomic.Uint64
+	auditRefutations    atomic.Uint64
+	auditsShed          atomic.Uint64
+	accepted            atomic.Uint64
+	rejected            atomic.Uint64
+	failures            atomic.Uint64
+	inFlight            atomic.Int64
+	peakInFlight        atomic.Int64
 
 	latCount atomic.Uint64
 	latTotal atomic.Int64 // nanoseconds
@@ -164,6 +174,17 @@ type Stats struct {
 	// that runs without peers). A stalled counter under a configured
 	// -peers loop means the loop itself is stuck, not just the peers.
 	SyncRounds uint64 `json:"syncRounds,omitempty"`
+	// IngestRefutations counts records refused at ingest because their
+	// verdict contradicted one this authority verified locally; Audits
+	// counts ingested records the background auditor re-verified, and
+	// AuditRefutations the re-verifications that contradicted the peer's
+	// verdict — proven lies, each repaired in place and charged to the
+	// vouching peer. AuditsShed counts samples dropped by a saturated
+	// auditor queue (coverage lost, never correctness).
+	IngestRefutations uint64 `json:"ingestRefutations,omitempty"`
+	Audits            uint64 `json:"audits,omitempty"`
+	AuditRefutations  uint64 `json:"auditRefutations,omitempty"`
+	AuditsShed        uint64 `json:"auditsShed,omitempty"`
 	// Accepted / Rejected partition delivered verdicts.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
@@ -189,9 +210,15 @@ type Stats struct {
 	Persistence *store.Stats `json:"persistence,omitempty"`
 	// Federation reports the signed anti-entropy trust boundary: this
 	// authority's signing identity, the allowlist size, per-peer
-	// accepted/rejected delta counters and the rejection cause buckets.
-	// Nil when neither Config.Key nor Config.PeerKeys is set.
+	// accepted/rejected delta counters and the rejection cause buckets —
+	// plus, with a trust policy attached, each peer's reputation,
+	// standing and refutation count. Nil when none of Config.Key,
+	// Config.PeerKeys and Config.Trust is set.
 	Federation *FederationStats `json:"federation,omitempty"`
+	// SyncPeers reports the resilient sync loop's per-peer view — breaker
+	// state, consecutive failures, remaining backoff — when a Syncer is
+	// attached; nil otherwise.
+	SyncPeers []SyncPeerStats `json:"syncPeers,omitempty"`
 }
 
 // snapshot assembles a Stats value from the live counters. Counters are
@@ -204,23 +231,27 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 		cacheEntries += n
 	}
 	s := Stats{
-		Requests:     m.requests.Load(),
-		Batches:      m.batches.Load(),
-		CacheHits:    m.cacheHits.Load(),
-		CacheMisses:  m.cacheMisses.Load(),
-		Deduplicated: m.deduplicated.Load(),
-		Ingested:     m.ingested.Load(),
-		DeltasServed: m.deltasServed.Load(),
-		SyncRounds:   m.syncRounds.Load(),
-		Accepted:     m.accepted.Load(),
-		Rejected:     m.rejected.Load(),
-		Failures:     m.failures.Load(),
-		InFlight:     m.inFlight.Load(),
-		PeakInFlight: m.peakInFlight.Load(),
-		CacheEntries: cacheEntries,
-		CacheShards:  shardCount,
-		ShardEntries: shardLens,
-		Workers:      workers,
+		Requests:          m.requests.Load(),
+		Batches:           m.batches.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		Deduplicated:      m.deduplicated.Load(),
+		Ingested:          m.ingested.Load(),
+		DeltasServed:      m.deltasServed.Load(),
+		SyncRounds:        m.syncRounds.Load(),
+		IngestRefutations: m.ingestRefutations.Load(),
+		Audits:            m.audits.Load(),
+		AuditRefutations:  m.auditRefutations.Load(),
+		AuditsShed:        m.auditsShed.Load(),
+		Accepted:          m.accepted.Load(),
+		Rejected:          m.rejected.Load(),
+		Failures:          m.failures.Load(),
+		InFlight:          m.inFlight.Load(),
+		PeakInFlight:      m.peakInFlight.Load(),
+		CacheEntries:      cacheEntries,
+		CacheShards:       shardCount,
+		ShardEntries:      shardLens,
+		Workers:           workers,
 	}
 	s.Latency = m.latencySummary()
 	return s

@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,7 @@ import (
 	"rationality/internal/identity"
 	"rationality/internal/reputation"
 	"rationality/internal/store"
+	"rationality/internal/trust"
 )
 
 // ErrServiceClosed is returned for requests submitted after Close.
@@ -102,6 +104,19 @@ type Config struct {
 	// the store sees a byte. Empty means any peer's delta is accepted
 	// (the intra-operator trust model of a single-fleet deployment).
 	PeerKeys []identity.PartyID
+	// Trust, when non-nil, is the quarantine policy enforced at the
+	// federation gate: deltas signed by a quarantined peer are counted
+	// but refused (ErrPeerQuarantined), refuted records charge the peer
+	// that vouched for them, and clean audited exchanges credit it back.
+	Trust *trust.Policy
+	// AuditRate, in [0, 1], is the probability that each record ingested
+	// from a peer is re-verified locally by the background auditor: its
+	// persisted request is re-run through the procedure registry, and a
+	// verdict that contradicts the peer's is a proven lie — the record is
+	// repaired with the locally computed verdict and the vouching peer is
+	// charged through Trust. Zero disables auditing; a positive rate
+	// requires PersistPath (the audit re-runs what the log ingested).
+	AuditRate float64
 }
 
 // Service is a concurrent, cached verification authority. It is safe for
@@ -118,6 +133,23 @@ type Service struct {
 	// fed, when non-nil, is the federation trust layer: signing key,
 	// peer allowlist, and per-peer acceptance/rejection counters.
 	fed *federation
+
+	// trust, when non-nil, is the quarantine policy (Config.Trust); origin
+	// is this authority's own signing identity, so the auditor can tell
+	// foreign records from ones it vouched for itself.
+	trust  *trust.Policy
+	origin identity.PartyID
+
+	// audits feeds the background auditor: records sampled at ingest at
+	// Config.AuditRate. The send is non-blocking — a saturated auditor
+	// sheds samples rather than stalling anti-entropy.
+	auditRate float64
+	audits    chan store.Record
+	auditWG   sync.WaitGroup
+
+	// syncer, when set, is the resilient pull loop whose per-peer state
+	// Stats() reports alongside the federation counters.
+	syncer atomic.Pointer[Syncer]
 
 	// store, when non-nil, is the durable verdict log. Fresh verdicts
 	// are handed to it with one non-blocking channel send right after
@@ -192,6 +224,18 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.fed = fed
+	s.trust = cfg.Trust
+	s.origin = signerID(cfg.Key)
+	if cfg.AuditRate < 0 || cfg.AuditRate > 1 {
+		return nil, fmt.Errorf("service: AuditRate must be in [0, 1], got %g", cfg.AuditRate)
+	}
+	if cfg.AuditRate > 0 && cfg.PersistPath == "" {
+		// The auditor re-runs requests the durable log ingested; with no
+		// log there is nothing to sample and a configured-but-inert audit
+		// rate would read as assurance that is not there.
+		return nil, fmt.Errorf("service: AuditRate requires PersistPath: the auditor re-verifies ingested records from the durable log")
+	}
+	s.auditRate = cfg.AuditRate
 	if cfg.PersistPath != "" {
 		if cfg.CacheSize < 0 {
 			// Persistence exists to warm-start the cache; with caching
@@ -243,6 +287,15 @@ func New(cfg Config) (*Service, error) {
 		// entries during the replay itself. Reporting the cache's
 		// actual population keeps "replayed == N implies N hits" true.
 		s.replayed = uint64(s.cache.Len())
+	}
+	if s.auditRate > 0 {
+		// One auditor goroutine, a small buffered queue: auditing is a
+		// sampled background activity, and shedding samples under load is
+		// fine — every record the queue drops is one a later exchange can
+		// sample again.
+		s.audits = make(chan store.Record, 64)
+		s.auditWG.Add(1)
+		go s.auditor()
 	}
 	s.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -303,6 +356,38 @@ func (s *Service) Stats() Stats {
 	}
 	if s.fed != nil {
 		st.Federation = s.fed.snapshot()
+	}
+	if s.trust != nil {
+		// The trust policy's view joins the federation section even when
+		// no delta has crossed the wire yet: a quarantine loaded from the
+		// persisted state file must be visible before (and without) any
+		// sync traffic, or a restart would hide exactly the peers it is
+		// refusing.
+		if st.Federation == nil {
+			st.Federation = &FederationStats{}
+		}
+		if st.Federation.Peers == nil {
+			st.Federation.Peers = make(map[string]PeerSyncStats)
+		}
+		for _, ts := range s.trust.Snapshot() {
+			p := st.Federation.Peers[ts.Peer]
+			p.Refutations = ts.Refutations
+			p.Reputation = ts.Reputation
+			p.State = string(ts.State)
+			st.Federation.Peers[ts.Peer] = p
+		}
+		for id, p := range st.Federation.Peers {
+			if p.State == "" {
+				ts := s.trust.Status(id)
+				p.Refutations, p.Reputation, p.State = ts.Refutations, ts.Reputation, string(ts.State)
+				st.Federation.Peers[id] = p
+			}
+		}
+		st.Federation.RejectedQuarantined = s.metrics.rejectedQuarantined.Load()
+		st.Federation.Quarantined = s.trust.Quarantined()
+	}
+	if y := s.syncer.Load(); y != nil {
+		st.SyncPeers = y.Snapshot()
 	}
 	return st
 }
@@ -420,6 +505,12 @@ func (s *Service) Close() error {
 		close(s.jobs)
 		close(s.execs)
 		s.workerWG.Wait()
+		if s.audits != nil {
+			// The auditor appends repairs to the store, so it must drain
+			// before the store does.
+			close(s.audits)
+			s.auditWG.Wait()
+		}
 		if s.store != nil {
 			// All workers are gone, so no Append can race this: the
 			// store drains its queue, syncs, and releases its files.
@@ -536,8 +627,13 @@ func (s *Service) executeInline(key identity.Hash, format string, gameSpec, advi
 			// Durability is asynchronous: one non-blocking channel send
 			// hands the fresh verdict to the store's flusher. A full
 			// queue drops the record (restart warmth is best-effort) —
-			// the verification path never waits on a disk.
-			s.store.Append(key, *v)
+			// the verification path never waits on a disk. The request
+			// rides along so any future auditor (here or on a peer) can
+			// re-run the verification from the log alone.
+			req, _ := json.Marshal(core.VerifyRequest{
+				Format: format, Game: gameSpec, Advice: advice, Proof: proofBody,
+			})
+			s.store.Append(key, *v, req)
 		}
 	}
 	return v, err
@@ -586,6 +682,71 @@ func (s *Service) countVerdict(v *core.Verdict) {
 	} else {
 		s.metrics.rejected.Add(1)
 	}
+}
+
+// maybeAudit samples one just-ingested foreign record for background
+// re-verification. Own records and records without a persisted request
+// are never audited (nothing to re-run, or nothing to learn); the queue
+// send is non-blocking, so a saturated auditor sheds samples instead of
+// stalling the anti-entropy path that feeds it.
+func (s *Service) maybeAudit(r *store.Record) {
+	if s.audits == nil || r.Origin == "" || r.Origin == s.origin || len(r.Request) == 0 {
+		return
+	}
+	if s.auditRate < 1 && rand.Float64() >= s.auditRate {
+		return
+	}
+	select {
+	case s.audits <- *r:
+	default:
+		s.metrics.auditsShed.Add(1)
+	}
+}
+
+// auditor is the background re-verifier: it drains sampled ingested
+// records and re-runs each one's persisted request locally.
+func (s *Service) auditor() {
+	defer s.auditWG.Done()
+	for r := range s.audits {
+		s.auditRecord(&r)
+	}
+}
+
+// auditRecord re-executes one ingested record's request through the local
+// procedure registry. Verification procedures are deterministic, so the
+// local verdict is ground truth: agreement credits the vouching peer
+// through the trust policy, contradiction is a proven lie — the peer is
+// charged with the evidence, and the record is repaired in place (cache
+// and log) with the locally computed verdict under this authority's own
+// origin, so the correction federates onward instead of the lie.
+func (s *Service) auditRecord(r *store.Record) {
+	var req core.VerifyRequest
+	if err := json.Unmarshal(r.Request, &req); err != nil {
+		return // an unparseable request proves nothing either way
+	}
+	v, err := s.execute(req.Format, req.Game, req.Advice, req.Proof)
+	if err != nil {
+		return // unknown format: this authority cannot audit the record
+	}
+	// Counted when the audit has fully completed — charge and repair
+	// included — so the counter doubles as a drain signal.
+	defer s.metrics.audits.Add(1)
+	if v.Accepted == r.Verdict.Accepted {
+		if s.trust != nil {
+			s.trust.Credit(string(r.Origin))
+		}
+		return
+	}
+	if s.trust != nil {
+		s.trust.Charge(string(r.Origin), fmt.Sprintf(
+			"audit: record %x: peer %s vouched accepted=%v, local re-verification says accepted=%v",
+			r.Key[:4], r.Origin, r.Verdict.Accepted, v.Accepted))
+	}
+	s.cache.Put(r.Key, *v)
+	if s.store != nil {
+		s.store.Append(r.Key, *v, r.Request)
+	}
+	s.metrics.auditRefutations.Add(1)
 }
 
 // recordReputation files the verdict against the inventor when a registry

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"rationality/internal/identity"
 	"rationality/internal/store"
+	"rationality/internal/transport"
 )
 
 // Anti-entropy endpoints: a quorum of verification authorities converges
@@ -19,6 +22,12 @@ import (
 // durable verdict store: anti-entropy replicates the log, so there must
 // be one (set Config.PersistPath).
 var ErrNoStore = errors.New("service: anti-entropy requires a durable verdict store (Config.PersistPath)")
+
+// ErrPeerQuarantined rejects a delta signed by a peer the trust policy
+// has quarantined: its signature may be perfectly valid, but its word is
+// not currently worth ingesting. The delta is counted (the peer's sync
+// activity stays observable) and refused.
+var ErrPeerQuarantined = errors.New("service: sync-delta signer is quarantined by this authority's trust policy")
 
 // SyncOffer snapshots this service's verdict log as the sync-offer
 // payload to send a peer: one entry per live record, newest stamp each.
@@ -97,6 +106,40 @@ func (s *Service) Provenance() (map[identity.PartyID]uint64, error) {
 	return s.store.Provenance()
 }
 
+// ProvenanceReport joins Provenance with the trust policy's standing per
+// peer: one entry per vouching party, sorted by ID, each carrying its
+// live record count, reputation, quarantine state and refutation tally.
+// Peers the trust policy tracks but the log holds no records from (e.g.
+// a quarantined peer whose lies were all repaired) still appear — a
+// provenance report that hid exactly the peers being refused would be
+// useless for the question it exists to answer.
+func (s *Service) ProvenanceReport() (ProvenanceResponse, error) {
+	counts, err := s.Provenance()
+	if err != nil {
+		return ProvenanceResponse{}, err
+	}
+	byID := make(map[identity.PartyID]ProvenancePeer, len(counts))
+	for id, n := range counts {
+		byID[id] = ProvenancePeer{ID: id, Records: n}
+	}
+	if s.trust != nil {
+		for _, ts := range s.trust.Snapshot() {
+			p := byID[identity.PartyID(ts.Peer)]
+			p.ID = identity.PartyID(ts.Peer)
+			p.Reputation = ts.Reputation
+			p.State = string(ts.State)
+			p.Refutations = ts.Refutations
+			byID[p.ID] = p
+		}
+	}
+	resp := ProvenanceResponse{VerifierID: s.id, Signer: s.origin, Peers: make([]ProvenancePeer, 0, len(byID))}
+	for _, p := range byID {
+		resp.Peers = append(resp.Peers, p)
+	}
+	sort.Slice(resp.Peers, func(i, j int) bool { return resp.Peers[i].ID < resp.Peers[j].ID })
+	return resp, nil
+}
+
 // IngestDelta is the federation gate in front of Ingest: it verifies a
 // pulled sync-delta's provenance against the peer allowlist, decodes the
 // record frames, stamps the signer's identity onto them as origin, and
@@ -127,6 +170,16 @@ func (s *Service) IngestDelta(offer SyncOfferRequest, delta SyncDeltaResponse) (
 		if err := identity.Verify(delta.Signer, digest, delta.Signature); err != nil {
 			return 0, fmt.Errorf("service: sync-delta from signer %s (peer %q): %w", delta.Signer, delta.VerifierID, err)
 		}
+	}
+	if s.trust != nil && delta.Signer != "" && !s.trust.Allowed(string(delta.Signer)) {
+		// The signature checked out — the peer is who it claims — but its
+		// standing is quarantined: count the delta (its sync activity stays
+		// visible in Stats) and refuse every record in it.
+		s.metrics.rejectedQuarantined.Add(1)
+		if s.fed != nil {
+			s.fed.countRejectPeer(delta.Signer)
+		}
+		return 0, fmt.Errorf("%w: signer %s (peer %q)", ErrPeerQuarantined, delta.Signer, delta.VerifierID)
 	}
 	recs, err := store.DecodeRecords(delta.Records)
 	if err != nil {
@@ -186,6 +239,12 @@ func (f *federation) admit(offer *SyncOfferRequest, delta *SyncDeltaResponse) er
 // the stamp comparison are skipped silently. A store write error is
 // returned after the records that did apply are installed, so a partial
 // merge is still served.
+//
+// Two accountability hooks ride the merge. Records the store *refutes* —
+// their verdict polarity contradicts one this authority verified locally
+// (see store.Refutation) — charge the peer named as their origin through
+// the trust policy: the refusal is the evidence. And applied foreign
+// records are sampled at Config.AuditRate for background re-verification.
 func (s *Service) Ingest(recs []store.Record) (int, error) {
 	if s.store == nil {
 		return 0, ErrNoStore
@@ -194,10 +253,52 @@ func (s *Service) Ingest(recs []store.Record) (int, error) {
 		return 0, err
 	}
 	defer s.release()
-	applied, err := s.store.Ingest(recs)
+	applied, refuted, err := s.store.Ingest(recs)
 	for i := range applied {
 		s.cache.PutCold(applied[i].Key, applied[i].Verdict)
+		s.maybeAudit(&applied[i])
 	}
 	s.metrics.ingested.Add(uint64(len(applied)))
+	for i := range refuted {
+		r := &refuted[i]
+		s.metrics.ingestRefutations.Add(1)
+		if s.trust != nil && r.Record.Origin != "" {
+			s.trust.Charge(string(r.Record.Origin), fmt.Sprintf(
+				"ingest: record %x: peer %s vouched accepted=%v against locally verified accepted=%v",
+				r.Record.Key[:4], r.Record.Origin, r.Record.Verdict.Accepted, r.LocalAccepted))
+		}
+	}
 	return len(applied), err
+}
+
+// PullFrom performs one anti-entropy exchange against a single peer: it
+// sends this service's verdict-log manifest as a sync-offer, receives
+// the signed delta, and hands it to the federation gate (IngestDelta).
+// It returns how many records were applied and the delta's signer — the
+// identity the trust policy tracks, which is how a sync loop learns whom
+// an address speaks for (and stops dialing it once that identity is
+// quarantined). A quarantine refusal surfaces as ErrPeerQuarantined with
+// the signer still reported.
+func (s *Service) PullFrom(ctx context.Context, peer transport.Client) (int, identity.PartyID, error) {
+	offer, err := s.SyncOffer()
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := transport.NewMessage(MsgSyncOffer, offer)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := peer.Call(ctx, req)
+	if err != nil {
+		return 0, "", fmt.Errorf("service: sync-offer exchange: %w", err)
+	}
+	if resp.Type != MsgSyncDelta {
+		return 0, "", fmt.Errorf("service: peer answered sync-offer with %q, want %q", resp.Type, MsgSyncDelta)
+	}
+	var delta SyncDeltaResponse
+	if err := resp.Decode(&delta); err != nil {
+		return 0, "", err
+	}
+	n, err := s.IngestDelta(offer, delta)
+	return n, delta.Signer, err
 }

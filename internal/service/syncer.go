@@ -1,0 +1,431 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rationality/internal/identity"
+	"rationality/internal/transport"
+)
+
+// Syncer is the resilient anti-entropy pull loop: one goroutine that, on
+// a jittered cadence, pulls the verdict records this authority is missing
+// from each configured peer. It replaces a fixed-interval redial loop
+// with the failure handling a federation actually needs:
+//
+//   - jitter on the round cadence, so a fleet restarted together does not
+//     synchronize into thundering-herd pulls;
+//   - per-peer exponential backoff: after f consecutive failures the peer
+//     is not re-attempted until interval·2^(f-1) (jittered, capped at
+//     BackoffMax) has passed — a dead peer costs one dial per backoff
+//     window, not one per tick;
+//   - a circuit breaker: at BreakerThreshold consecutive failures the
+//     peer's state goes open and its client is closed and released; the
+//     next eligible attempt is the half-open probe that re-dials it;
+//   - quarantine awareness: once a pull has learned which signing
+//     identity an address speaks for, a peer the trust policy has
+//     quarantined is skipped without dialing until its probation opens.
+//
+// Per-peer state is observable in Stats().SyncPeers and the Prometheus
+// exposition. Build with Service.StartSyncer, stop with Stop.
+type Syncer struct {
+	svc    *Service
+	cfg    SyncerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	exited chan struct{}
+	stop   sync.Once
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	peers []*syncPeer
+}
+
+// Syncer defaults, applied by StartSyncer for zero Config fields.
+const (
+	// DefaultSyncTimeout bounds one dial+exchange.
+	DefaultSyncTimeout = time.Minute
+	// DefaultSyncBackoffMax caps the per-peer exponential backoff.
+	DefaultSyncBackoffMax = 5 * time.Minute
+	// DefaultBreakerThreshold is the consecutive-failure count that opens
+	// a peer's circuit.
+	DefaultBreakerThreshold = 3
+	// DefaultSyncJitter is the jitter fraction applied to the round
+	// cadence and every backoff window.
+	DefaultSyncJitter = 0.2
+)
+
+// Sync-loop peer states, as reported in SyncPeerStats.State: healthy
+// (last attempt succeeded), degraded (failing, still dialed each round it
+// is due), and open (the breaker tripped — the client is released and the
+// next due attempt is a half-open probe).
+const (
+	SyncHealthy  = "healthy"
+	SyncDegraded = "degraded"
+	SyncOpen     = "open"
+)
+
+// SyncerConfig configures Service.StartSyncer.
+type SyncerConfig struct {
+	// Peers are the addresses to pull from. Required, non-empty.
+	Peers []string
+	// Interval is the nominal round cadence (jittered). Required.
+	Interval time.Duration
+	// Timeout bounds one dial+exchange; zero means DefaultSyncTimeout.
+	Timeout time.Duration
+	// BackoffMax caps the per-peer exponential backoff; zero means
+	// DefaultSyncBackoffMax (raised to Interval if smaller).
+	BackoffMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit; zero means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// Jitter is the fraction by which cadence and backoff windows are
+	// randomized (0.2 = ±20%). Zero means DefaultSyncJitter; negative
+	// disables jitter (deterministic cadence, for tests).
+	Jitter float64
+	// Dial opens a client to a peer address; nil means a pooled TCP dial
+	// bounded by Timeout.
+	Dial func(addr string) (transport.Client, error)
+	// Logf, when non-nil, receives the loop's operational log lines
+	// (pulls, failures, breaker transitions).
+	Logf func(format string, args ...any)
+	// OnRound, when non-nil, observes every completed round with whether
+	// at least one peer exchange succeeded — the hook readiness gates
+	// hang their first-sync condition on.
+	OnRound func(exchanged bool)
+	// Seed seeds the jitter source; zero uses the clock.
+	Seed int64
+}
+
+// syncPeer is one peer's loop state, guarded by Syncer.mu (the loop
+// goroutine mutates it, Snapshot reads it).
+type syncPeer struct {
+	addr   string
+	client transport.Client
+	signer identity.PartyID
+	state  string
+	// failures counts consecutive failures (reset on success); next is
+	// the earliest time the peer is due another attempt.
+	failures int
+	next     time.Time
+
+	attempts          uint64
+	pulled            uint64
+	failed            uint64
+	skippedBackoff    uint64
+	skippedQuarantine uint64
+}
+
+// SyncPeerStats is one peer's sync-loop state as reported by
+// Stats().SyncPeers: the breaker view an operator checks when a peer
+// stops converging.
+type SyncPeerStats struct {
+	// Address is the configured peer address; Signer the signing identity
+	// the last successful (or quarantine-refused) pull proved it speaks
+	// for — empty until one exchange has completed.
+	Address string           `json:"address"`
+	Signer  identity.PartyID `json:"signer,omitempty"`
+	// State is the breaker state: healthy, degraded, or open.
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure run (zeroed on success);
+	// Backoff is how much of the current backoff window remains.
+	ConsecutiveFailures int           `json:"consecutiveFailures,omitempty"`
+	Backoff             time.Duration `json:"backoff,omitempty"`
+	// Attempts counts pulls actually started, Pulled the records they
+	// applied, Failed the attempts that errored. SkippedBackoff and
+	// SkippedQuarantine count rounds where the peer was due no attempt —
+	// still inside its backoff window, or quarantined by the trust
+	// policy.
+	Attempts          uint64 `json:"attempts"`
+	Pulled            uint64 `json:"pulled"`
+	Failed            uint64 `json:"failed"`
+	SkippedBackoff    uint64 `json:"skippedBackoff,omitempty"`
+	SkippedQuarantine uint64 `json:"skippedQuarantine,omitempty"`
+}
+
+// StartSyncer launches the resilient pull loop against the configured
+// peers: one round immediately (a restarted authority catches up before
+// its cadence ticks), then one round per jittered interval. The syncer
+// registers itself on the service, so Stats().SyncPeers reports its
+// per-peer state. Stop halts the loop and closes the peer clients.
+func (s *Service) StartSyncer(cfg SyncerConfig) (*Syncer, error) {
+	if s.store == nil {
+		return nil, ErrNoStore
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("service: syncer needs at least one peer address")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("service: syncer interval must be positive, got %s", cfg.Interval)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultSyncTimeout
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultSyncBackoffMax
+	}
+	if cfg.BackoffMax < cfg.Interval {
+		cfg.BackoffMax = cfg.Interval
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = DefaultSyncJitter
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+	if cfg.Dial == nil {
+		timeout := cfg.Timeout
+		cfg.Dial = func(addr string) (transport.Client, error) {
+			return transport.DialTCPPool(addr, timeout, 1)
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	y := &Syncer{
+		svc:    s,
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		exited: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for _, addr := range cfg.Peers {
+		y.peers = append(y.peers, &syncPeer{addr: addr, state: SyncHealthy})
+	}
+	s.syncer.Store(y)
+	go y.run()
+	return y, nil
+}
+
+// Stop halts the loop, waits for any in-flight exchange to cancel, and
+// closes the peer clients. Safe to call more than once.
+func (y *Syncer) Stop() {
+	y.stop.Do(func() {
+		y.cancel()
+		<-y.exited
+		y.svc.syncer.CompareAndSwap(y, nil)
+	})
+}
+
+// run is the loop goroutine: an immediate catch-up round, then one round
+// per jittered interval until Stop.
+func (y *Syncer) run() {
+	defer close(y.exited)
+	defer func() {
+		y.mu.Lock()
+		defer y.mu.Unlock()
+		for _, p := range y.peers {
+			if p.client != nil {
+				_ = p.client.Close()
+				p.client = nil
+			}
+		}
+	}()
+	y.round()
+	for {
+		y.mu.Lock()
+		d := y.jitterLocked(y.cfg.Interval)
+		y.mu.Unlock()
+		timer := time.NewTimer(d)
+		select {
+		case <-y.ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		y.round()
+	}
+}
+
+// round attempts every due peer once and notes the completed pass.
+func (y *Syncer) round() {
+	exchanged := 0
+	for _, p := range y.peers {
+		if y.ctx.Err() != nil {
+			return // shutting down mid-round: not a completed pass
+		}
+		if y.pullPeer(p) {
+			exchanged++
+		}
+	}
+	if y.ctx.Err() != nil {
+		return
+	}
+	y.svc.NoteSyncRound()
+	if y.cfg.OnRound != nil {
+		y.cfg.OnRound(exchanged > 0)
+	}
+}
+
+// pullPeer runs one peer's turn in a round: skip if backing off or
+// quarantined, otherwise dial (when the breaker released the client) and
+// pull. Reports whether an exchange succeeded.
+func (y *Syncer) pullPeer(p *syncPeer) bool {
+	now := time.Now()
+	y.mu.Lock()
+	if now.Before(p.next) {
+		p.skippedBackoff++
+		y.mu.Unlock()
+		return false
+	}
+	signer := p.signer
+	y.mu.Unlock()
+	if signer != "" && y.svc.trust != nil && !y.svc.trust.Allowed(string(signer)) {
+		// Known identity, quarantined standing: skip without a dial. The
+		// trust policy's probation timer is what lets the peer back in.
+		y.mu.Lock()
+		p.skippedQuarantine++
+		y.mu.Unlock()
+		return false
+	}
+
+	y.mu.Lock()
+	p.attempts++
+	client := p.client
+	y.mu.Unlock()
+	if client == nil {
+		c, err := y.cfg.Dial(p.addr)
+		if err != nil {
+			y.cfg.Logf("anti-entropy: %s unreachable: %v", p.addr, err)
+			y.noteFailure(p, time.Now())
+			return false
+		}
+		y.mu.Lock()
+		p.client = c
+		y.mu.Unlock()
+		client = c
+	}
+
+	ctx, cancel := context.WithTimeout(y.ctx, y.cfg.Timeout)
+	n, gotSigner, err := y.svc.PullFrom(ctx, client)
+	cancel()
+	if gotSigner != "" {
+		y.mu.Lock()
+		p.signer = gotSigner
+		y.mu.Unlock()
+	}
+	switch {
+	case y.ctx.Err() != nil:
+		return false // cancelled mid-exchange: not a peer failure
+	case err == nil:
+		y.mu.Lock()
+		p.pulled += uint64(n)
+		p.failures = 0
+		p.next = time.Time{}
+		recovered := p.state == SyncOpen
+		p.state = SyncHealthy
+		y.mu.Unlock()
+		if recovered {
+			y.cfg.Logf("anti-entropy: circuit closed for %s: probe succeeded", p.addr)
+		}
+		if n > 0 {
+			y.cfg.Logf("anti-entropy: pulled %d records from %s", n, p.addr)
+		}
+		return true
+	case errors.Is(err, ErrPeerQuarantined):
+		// A deliberate refusal by our own trust policy, not a peer fault:
+		// no backoff, no breaker — the quarantine skip above takes over
+		// now that the signer is known.
+		y.mu.Lock()
+		p.skippedQuarantine++
+		y.mu.Unlock()
+		y.cfg.Logf("anti-entropy: pull from %s: %v", p.addr, err)
+		return false
+	default:
+		y.cfg.Logf("anti-entropy: pull from %s: %v", p.addr, err)
+		y.noteFailure(p, time.Now())
+		return false
+	}
+}
+
+// noteFailure records one failed attempt: bump the consecutive-failure
+// run, schedule the backoff window, and trip the breaker at the
+// threshold (closing and releasing the client, so the next due attempt
+// is a fresh half-open probe).
+func (y *Syncer) noteFailure(p *syncPeer, now time.Time) {
+	y.mu.Lock()
+	p.failures++
+	p.failed++
+	window := y.backoffLocked(p.failures)
+	p.next = now.Add(window)
+	opened := false
+	if p.failures >= y.cfg.BreakerThreshold {
+		opened = p.state != SyncOpen
+		p.state = SyncOpen
+		if p.client != nil {
+			_ = p.client.Close()
+			p.client = nil
+		}
+	} else {
+		p.state = SyncDegraded
+	}
+	failures := p.failures
+	y.mu.Unlock()
+	if opened {
+		y.cfg.Logf("anti-entropy: circuit open for %s after %d consecutive failures (next probe in %s)",
+			p.addr, failures, window.Round(time.Millisecond))
+	}
+}
+
+// backoffLocked is the jittered exponential backoff window after f
+// consecutive failures: interval·2^(f-1), capped at BackoffMax.
+// Callers hold y.mu.
+func (y *Syncer) backoffLocked(f int) time.Duration {
+	d := y.cfg.Interval
+	for i := 1; i < f && d < y.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > y.cfg.BackoffMax {
+		d = y.cfg.BackoffMax
+	}
+	return y.jitterLocked(d)
+}
+
+// jitterLocked randomizes a duration by ±cfg.Jitter. Callers hold y.mu.
+func (y *Syncer) jitterLocked(d time.Duration) time.Duration {
+	j := y.cfg.Jitter
+	if j <= 0 {
+		return d
+	}
+	delta := float64(d) * j
+	return time.Duration(float64(d) - delta + 2*delta*y.rng.Float64())
+}
+
+// Snapshot reports every peer's loop state, in configured peer order.
+func (y *Syncer) Snapshot() []SyncPeerStats {
+	now := time.Now()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	out := make([]SyncPeerStats, 0, len(y.peers))
+	for _, p := range y.peers {
+		st := SyncPeerStats{
+			Address:             p.addr,
+			Signer:              p.signer,
+			State:               p.state,
+			ConsecutiveFailures: p.failures,
+			Attempts:            p.attempts,
+			Pulled:              p.pulled,
+			Failed:              p.failed,
+			SkippedBackoff:      p.skippedBackoff,
+			SkippedQuarantine:   p.skippedQuarantine,
+		}
+		if p.next.After(now) {
+			st.Backoff = p.next.Sub(now)
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -150,7 +150,7 @@ func TestCrashRecoveryTable(t *testing.T) {
 			// The salvaged tail must be a trusted append point: new
 			// records land after the valid prefix and survive a restart.
 			fresh := identity.DigestBytes([]byte("post-salvage"))
-			if !s.Append(fresh, core.Verdict{Accepted: true, Format: "test/v1"}) {
+			if !s.Append(fresh, core.Verdict{Accepted: true, Format: "test/v1"}, nil) {
 				t.Fatal("append refused after salvage")
 			}
 			if err := s.Close(); err != nil {
@@ -215,7 +215,7 @@ func TestStampsResumePastSalvage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Supersede key 0; its stamp must beat the recovered stamp 1.
-	s.Append(testKey(0), testVerdict(8))
+	s.Append(testKey(0), testVerdict(8), nil)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ import (
 //	offset  size  field
 //	------  ----  -----------------------------------------------
 //	0       4     magic   "RVLS" (rationality verdict-log segment)
-//	4       1     version 2
+//	4       1     version 3
 //	then per record:
 //	0       4     length  uint32 BE — byte length of the payload
 //	4       4     crc     uint32 BE — CRC32C (Castagnoli) of payload
@@ -28,37 +28,46 @@ import (
 //	          32     key     identity.Hash (raw SHA-256 content address)
 //	          8      stamp   uint64 BE (monotonic append sequence)
 //	          2      olen    uint16 BE — byte length of origin
+//	          4      qlen    uint32 BE — byte length of request
 //	          olen   origin  identity.PartyID of the vouching authority
 //	                         (hex Ed25519 public key; empty = unattributed)
+//	          qlen   request (JSON-encoded core.VerifyRequest — the inputs
+//	                         the verdict was computed from; empty = the
+//	                         record predates v3 and cannot be re-audited)
 //	          rest   verdict (JSON-encoded core.Verdict)
 //
 // Version 1 segments — everything written before the federation change —
 // have no header and no origin column: the payload is key, stamp, verdict.
 // A reader distinguishes the formats by the magic: v1 could never start
 // with "RVLS" because a record's first four bytes are a big-endian length
-// far below 0x52564c53. v1 segments are read transparently (records come
-// back with an empty Origin) and upgraded to v2 the first time the store
-// opens them; v2 is the only format ever written.
+// far below 0x52564c53. Version 2 added the header and the origin column;
+// version 3 adds the request column, which is what lets any authority
+// re-run the verification procedure for any record it holds — the audit
+// loop's raw material. v1 and v2 segments are read transparently (missing
+// columns come back empty) and upgraded to v3 the first time the store
+// opens them; v3 is the only format ever written.
 //
-// The CRC covers the whole payload (key, stamp, origin and verdict), so a
-// flipped bit anywhere in a record is detected; the length prefix is
-// implicitly protected because a corrupted length makes the CRC check of
-// the mis-framed payload fail (except with probability 2^-32).
+// The CRC covers the whole payload (key, stamp, origin, request and
+// verdict), so a flipped bit anywhere in a record is detected; the length
+// prefix is implicitly protected because a corrupted length makes the CRC
+// check of the mis-framed payload fail (except with probability 2^-32).
 
 // crcTable is the Castagnoli polynomial table; CRC32C has hardware support
 // on amd64/arm64, so framing costs no measurable CPU next to the syscall.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Segment format versions. segmentV1 is the legacy headerless layout
-// (no origin column); segmentV2 is the current layout.
+// Segment format versions. segmentV1 is the legacy headerless layout (no
+// origin column); segmentV2 added the header and origin; segmentV3 — the
+// current layout — adds the request column.
 const (
 	segmentV1 = 1
 	segmentV2 = 2
+	segmentV3 = 3
 )
 
 // segmentHeader is the five-byte prefix of every written segment (and of
 // every wire-framed delta): the magic plus the current version.
-var segmentHeader = []byte{'R', 'V', 'L', 'S', segmentV2}
+var segmentHeader = []byte{'R', 'V', 'L', 'S', segmentV3}
 
 const (
 	// segmentHeaderLen is the length of the per-file version header.
@@ -69,13 +78,16 @@ const (
 	keyLen = len(identity.Hash{})
 	// stampLen is the monotonic stamp length inside the payload.
 	stampLen = 8
-	// originLenLen is the origin length prefix inside a v2 payload.
+	// originLenLen is the origin length prefix inside a v2+ payload.
 	originLenLen = 2
-	// minPayloadV1 / minPayloadV2 bound the smallest well-formed payload
-	// per format version, so the frame reader can reject a length field
-	// before allocating.
+	// requestLenLen is the request length prefix inside a v3 payload.
+	requestLenLen = 4
+	// minPayloadV1 / minPayloadV2 / minPayloadV3 bound the smallest
+	// well-formed payload per format version, so the frame reader can
+	// reject a length field before allocating.
 	minPayloadV1 = keyLen + stampLen
 	minPayloadV2 = keyLen + stampLen + originLenLen
+	minPayloadV3 = keyLen + stampLen + originLenLen + requestLenLen
 	// maxOrigin bounds the origin column. A party ID is 64 bytes of hex;
 	// anything much longer is corruption, not an identity.
 	maxOrigin = 256
@@ -90,26 +102,32 @@ const (
 // stamp (larger = written later; recovery keeps the largest per key), the
 // identity of the authority that vouched for the record's entry into this
 // log (the local authority for fresh verdicts, the signing peer for
-// ingested ones; empty on unkeyed deployments and legacy v1 records), and
-// the verdict itself.
+// ingested ones; empty on unkeyed deployments and legacy v1 records), the
+// request the verdict was computed from (JSON core.VerifyRequest; empty
+// on records that predate the v3 format — those cannot be re-audited),
+// and the verdict itself.
 type Record struct {
 	Key     identity.Hash
 	Stamp   uint64
 	Origin  identity.PartyID
+	Request json.RawMessage
 	Verdict core.Verdict
 }
 
 // idxEntry is one on-disk index line: the newest stamp a key holds, the
-// checksum of the verdict content at that stamp, and the record's origin.
-// The sum lets the anti-entropy manifest distinguish "peer has newer
-// content" from "peer merely re-stamped identical content" (compaction's
-// warmth re-ranking does the latter on every pass), so stamp churn never
-// causes a re-transfer. The origin feeds the Provenance summary without a
-// disk scan.
+// checksum of the verdict content at that stamp, the record's origin, and
+// the verdict's polarity. The sum lets the anti-entropy manifest
+// distinguish "peer has newer content" from "peer merely re-stamped
+// identical content" (compaction's warmth re-ranking does the latter on
+// every pass), so stamp churn never causes a re-transfer. The origin
+// feeds the Provenance summary without a disk scan; the polarity lets
+// Ingest refute an incoming record that contradicts a locally verified
+// one without re-reading the log.
 type idxEntry struct {
-	stamp  uint64
-	sum    uint32
-	origin identity.PartyID
+	stamp    uint64
+	sum      uint32
+	origin   identity.PartyID
+	accepted bool
 }
 
 // verdictSum is the content checksum the index and sync manifests carry:
@@ -126,7 +144,7 @@ func verdictSum(v *core.Verdict) uint32 {
 	return crc32.Checksum(body, crcTable)
 }
 
-// appendRecord encodes a record onto buf in the v2 layout and returns the
+// appendRecord encodes a record onto buf in the v3 layout and returns the
 // extended slice plus the verdict's content checksum (computed here, where
 // the verdict bytes already exist, so the index never pays a second
 // marshal). The frame is assembled in memory first so the file write is a
@@ -140,16 +158,18 @@ func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	if len(r.Origin) > maxOrigin {
 		return buf, 0, fmt.Errorf("store: origin of %d bytes exceeds the %d-byte bound", len(r.Origin), maxOrigin)
 	}
-	payloadLen := minPayloadV2 + len(r.Origin) + len(body)
+	payloadLen := minPayloadV3 + len(r.Origin) + len(r.Request) + len(body)
 	if payloadLen > maxPayload {
-		return buf, 0, fmt.Errorf("store: verdict of %d bytes exceeds the %d-byte record bound", len(body), maxPayload)
+		return buf, 0, fmt.Errorf("store: record of %d bytes exceeds the %d-byte bound", payloadLen, maxPayload)
 	}
 	start := len(buf)
 	buf = append(buf, make([]byte, headerLen)...)
 	buf = append(buf, r.Key[:]...)
 	buf = binary.BigEndian.AppendUint64(buf, r.Stamp)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Origin)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Request)))
 	buf = append(buf, r.Origin...)
+	buf = append(buf, r.Request...)
 	buf = append(buf, body...)
 	payload := buf[start+headerLen:]
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -182,11 +202,11 @@ func sniffVersion(br *bufio.Reader) (int, error) {
 	if string(head[:4]) != string(segmentHeader[:4]) {
 		return segmentV1, nil
 	}
-	if head[4] != segmentV2 {
+	if head[4] != segmentV2 && head[4] != segmentV3 {
 		return 0, fmt.Errorf("%w: %d", errVersion, head[4])
 	}
 	br.Discard(segmentHeaderLen)
-	return segmentV2, nil
+	return int(head[4]), nil
 }
 
 // readRecord decodes the next record from r using the given format
@@ -205,7 +225,10 @@ func readRecord(r io.Reader, rec *Record, version int) (int, error) {
 		return 0, err
 	}
 	minPayload := minPayloadV1
-	if version >= segmentV2 {
+	switch {
+	case version >= segmentV3:
+		minPayload = minPayloadV3
+	case version >= segmentV2:
 		minPayload = minPayloadV2
 	}
 	length := int(binary.BigEndian.Uint32(header[:4]))
@@ -226,7 +249,20 @@ func readRecord(r io.Reader, rec *Record, version int) (int, error) {
 	rec.Stamp = binary.BigEndian.Uint64(payload[keyLen : keyLen+stampLen])
 	body := payload[minPayloadV1:]
 	rec.Origin = ""
-	if version >= segmentV2 {
+	rec.Request = nil
+	switch {
+	case version >= segmentV3:
+		olen := int(binary.BigEndian.Uint16(payload[keyLen+stampLen : keyLen+stampLen+originLenLen]))
+		qlen := int(binary.BigEndian.Uint32(payload[keyLen+stampLen+originLenLen : minPayloadV3]))
+		if olen > maxOrigin || qlen > maxPayload || minPayloadV3+olen+qlen > length {
+			return 0, errTorn
+		}
+		rec.Origin = identity.PartyID(payload[minPayloadV3 : minPayloadV3+olen])
+		if qlen > 0 {
+			rec.Request = json.RawMessage(payload[minPayloadV3+olen : minPayloadV3+olen+qlen])
+		}
+		body = payload[minPayloadV3+olen+qlen:]
+	case version >= segmentV2:
 		olen := int(binary.BigEndian.Uint16(payload[keyLen+stampLen : minPayloadV2]))
 		if olen > maxOrigin || minPayloadV2+olen > length {
 			return 0, errTorn

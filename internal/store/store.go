@@ -34,6 +34,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -229,7 +230,7 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 		nextStamp: rec.maxStamp + 1,
 	}
 	for key, r := range rec.live {
-		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict), origin: r.Origin}
+		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict), origin: r.Origin, accepted: r.Verdict.Accepted}
 	}
 	live := uint64(len(rec.live))
 	s.replayed.Store(live)
@@ -248,13 +249,15 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 
 // upgradeSegments brings the on-disk format to the current segment
 // version before the flusher starts. A store whose segments replayed as
-// legacy v1 is rewritten wholesale — the live set goes into a fresh v2
-// snapshot, the tail is truncated and given the version header — so v2 is
-// the only format ever appended to and the origin column exists for every
-// future record (the migrated history itself stays unattributed: no
-// authority signed for it). The rewrite is a compaction in all but
-// trigger, and is counted as one. A store already at v2 only has its tail
-// header written when the tail is brand new or was salvaged to empty.
+// legacy (v1 or v2) is rewritten wholesale — the live set goes into a
+// fresh v3 snapshot, the tail is truncated and given the version header —
+// so v3 is the only format ever appended to and the origin and request
+// columns exist for every future record (the migrated history keeps
+// whatever columns it had: v1 records stay unattributed, pre-v3 records
+// stay unauditable — no one recorded their inputs). The rewrite is a
+// compaction in all but trigger, and is counted as one. A store already
+// at v3 only has its tail header written when the tail is brand new or
+// was salvaged to empty.
 func (s *Store) upgradeSegments(rec *recovery) error {
 	if rec.upgrade {
 		if err := s.writeSnapshot(rec.live); err != nil {
@@ -286,11 +289,15 @@ func (s *Store) upgradeSegments(rec *recovery) error {
 // accepted. It never blocks: when the flusher is behind and the queue is
 // full, the record is dropped (counted in Stats.Dropped) — restart warmth
 // is best-effort, verification latency is not. The verdict's Details map
-// is deep-copied here, so the caller may keep mutating its copy.
+// is deep-copied here, so the caller may keep mutating its copy; request
+// — the JSON-encoded core.VerifyRequest the verdict was computed from,
+// which is what makes the record independently re-verifiable by an
+// auditor — is likewise copied, and may be nil when the caller has no
+// inputs to offer (such a record simply cannot be audited).
 //
 // Records queued after Close starts may or may not be persisted; call
 // Append only before Close, as the service's drain ordering guarantees.
-func (s *Store) Append(key identity.Hash, v core.Verdict) bool {
+func (s *Store) Append(key identity.Hash, v core.Verdict, request []byte) bool {
 	select {
 	case <-s.quit:
 		return false // closed: the flusher is draining or gone
@@ -304,8 +311,12 @@ func (s *Store) Append(key identity.Hash, v core.Verdict) bool {
 		s.dropped.Add(1)
 		return false
 	}
+	var req json.RawMessage
+	if len(request) > 0 {
+		req = append(json.RawMessage(nil), request...)
+	}
 	select {
-	case s.queue <- Record{Key: key, Verdict: v.Clone()}:
+	case s.queue <- Record{Key: key, Verdict: v.Clone(), Request: req}:
 		return true
 	default:
 		s.dropped.Add(1)
@@ -459,7 +470,7 @@ func (s *Store) writeStamped(r *Record) {
 	} else {
 		s.live.Add(1)
 	}
-	s.index[r.Key] = idxEntry{stamp: r.Stamp, sum: sum, origin: r.Origin}
+	s.index[r.Key] = idxEntry{stamp: r.Stamp, sum: sum, origin: r.Origin, accepted: r.Verdict.Accepted}
 	s.persisted.Add(1)
 	s.sinceSync++
 }

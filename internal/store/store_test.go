@@ -57,7 +57,7 @@ func TestOpenEmptyDirAndRoundTrip(t *testing.T) {
 	}
 	const n = 10
 	for i := 0; i < n; i++ {
-		if !s.Append(testKey(i), testVerdict(i)) {
+		if !s.Append(testKey(i), testVerdict(i), nil) {
 			t.Fatalf("append %d refused", i)
 		}
 	}
@@ -101,8 +101,8 @@ func TestLatestWinsAcrossRestarts(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(1)
 	s, _ := mustOpen(t, dir, Options{})
-	s.Append(key, testVerdict(0))
-	s.Append(key, testVerdict(2))
+	s.Append(key, testVerdict(0), nil)
+	s.Append(key, testVerdict(2), nil)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestLatestWinsAcrossRestarts(t *testing.T) {
 	if len(recs) != 1 || !reflect.DeepEqual(recs[0].Verdict, testVerdict(2)) {
 		t.Fatalf("second life recovered %+v, want the i=2 verdict", recs)
 	}
-	s2.Append(key, testVerdict(4))
+	s2.Append(key, testVerdict(4), nil)
 	if err := s2.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestCompactionRewritesLiveSet(t *testing.T) {
 	s, _ := mustOpen(t, dir, Options{CompactAt: 8, SyncEvery: 1})
 	// Two keys, rewritten over and over: garbage accumulates fast.
 	for i := 0; i < 40; i++ {
-		s.Append(testKey(i%2), testVerdict(i))
+		s.Append(testKey(i%2), testVerdict(i), nil)
 		// Pace the appends so the flusher sees distinct bursts and its
 		// post-burst compaction check actually runs.
 		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
@@ -170,7 +170,7 @@ func TestAppendAfterCloseRefused(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if s.Append(testKey(0), testVerdict(0)) {
+	if s.Append(testKey(0), testVerdict(0), nil) {
 		t.Fatal("Append accepted a record after Close")
 	}
 }
@@ -196,7 +196,7 @@ func TestRetainShieldsHotRecordsFromRetirement(t *testing.T) {
 	// a stream of newer one-off keys that forces retirement.
 	const n = 20
 	for i := 0; i < n; i++ {
-		s.Append(testKey(i), testVerdict(i))
+		s.Append(testKey(i), testVerdict(i), nil)
 		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
 	}
 	waitFor(t, "retention compaction", func() bool { return s.Stats().Compactions >= 1 })
@@ -226,7 +226,7 @@ func TestFailedCountsDeadDisk(t *testing.T) {
 	if err := s.tail.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if !s.Append(testKey(0), testVerdict(0)) {
+	if !s.Append(testKey(0), testVerdict(0), nil) {
 		t.Fatal("append refused while the store still looks healthy")
 	}
 	waitFor(t, "failure counted", func() bool { return s.Stats().Failed >= 1 })
@@ -246,7 +246,7 @@ func TestMaxLiveRetiresOldest(t *testing.T) {
 	s, _ := mustOpen(t, dir, Options{MaxLive: 4, CompactAt: 4, SyncEvery: 1})
 	const n = 20 // all-distinct keys: no garbage, only live growth
 	for i := 0; i < n; i++ {
-		s.Append(testKey(i), testVerdict(i))
+		s.Append(testKey(i), testVerdict(i), nil)
 		waitFor(t, "append flushed", func() bool { return s.Stats().Persisted >= uint64(i+1) })
 	}
 	waitFor(t, "retention compaction", func() bool { return s.Stats().Compactions >= 1 })

@@ -123,6 +123,22 @@ func (s *Store) Delta(have map[identity.Hash]RecordInfo) ([]Record, error) {
 	return out, scanErr
 }
 
+// Refutation is ingest-time evidence of a lying voucher: an incoming
+// record whose verdict polarity contradicts the verdict this store's own
+// authority computed and vouched for locally. The record was refused —
+// deterministic procedures make local execution ground truth, so
+// newest-stamp-wins must not let a peer's stamp overwrite it — and the
+// contradiction is returned to the owner, who charges the record's
+// provenance through the trust layer.
+type Refutation struct {
+	// Record is the refused incoming record; its Origin names the peer
+	// that vouched for it.
+	Record Record
+	// LocalAccepted is the polarity of the locally vouched verdict the
+	// record contradicts.
+	LocalAccepted bool
+}
+
 // Ingest merges records pulled from a peer into the log: per key the
 // newest stamp wins, stale offers are skipped, and applied records keep
 // the peer's stamp so repeated exchanges converge on identical histories.
@@ -130,19 +146,37 @@ func (s *Store) Delta(have map[identity.Hash]RecordInfo) ([]Record, error) {
 // the bound — absorbing them would only hand the next compaction more
 // history to retire, an ingest-retire ping-pong that would otherwise
 // repeat every sync round — while updates to keys the store already
-// holds always land. It returns the records actually applied (stamp
-// order preserved from the input), which the owner should install in its
-// caches, and surfaces the store's fatal write error when one is set: a
-// dead disk must fail the pull loudly, not silently no-op it forever.
-// The applied suffix is synced before Ingest returns — a merged record
-// is durable, not parked in the flusher queue.
-func (s *Store) Ingest(recs []Record) ([]Record, error) {
+// holds always land.
+//
+// One class of records is refused regardless of stamp: a record whose
+// verdict polarity contradicts a verdict this store's own authority
+// (Options.Origin) verified locally. Verification procedures are
+// deterministic, so the local execution is ground truth and the incoming
+// record is evidence of a lying voucher, not newer data. Such records
+// come back as Refutations so the owner can charge the peer that vouched
+// for them.
+//
+// It returns the records actually applied (stamp order preserved from
+// the input), which the owner should install in its caches, the
+// refutations, and surfaces the store's fatal write error when one is
+// set: a dead disk must fail the pull loudly, not silently no-op it
+// forever. The applied suffix is synced before Ingest returns — a merged
+// record is durable, not parked in the flusher queue.
+func (s *Store) Ingest(recs []Record) ([]Record, []Refutation, error) {
 	var applied []Record
+	var refuted []Refutation
 	var writeErr error
 	err := s.do(func() {
 		for i := range recs {
 			r := &recs[i]
 			cur, exists := s.index[r.Key]
+			if exists && s.opts.Origin != "" && cur.origin == s.opts.Origin &&
+				cur.accepted != r.Verdict.Accepted {
+				// Contradicts our own locally verified verdict: refuse it
+				// whatever its stamp, and report the lie.
+				refuted = append(refuted, Refutation{Record: *r, LocalAccepted: cur.accepted})
+				continue
+			}
 			if exists && cur.stamp >= r.Stamp {
 				continue // local copy is as new or newer: skip
 			}
@@ -162,9 +196,9 @@ func (s *Store) Ingest(recs []Record) ([]Record, error) {
 		writeErr = s.flushErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return applied, writeErr
+	return applied, refuted, writeErr
 }
 
 // EncodeRecords frames records for the wire with the exact segment-file
@@ -191,11 +225,12 @@ func EncodeRecords(recs []Record) ([]byte, error) {
 // DecodeRecords parses a framed blob produced by EncodeRecords, verifying
 // every record's checksum. A blob without the version header is read as
 // the legacy v1 layout (a pre-federation peer's delta: records come back
-// with no Origin), so an upgraded verifier keeps pulling successfully
+// with no Origin), and a v2-headed blob as the pre-audit layout (no
+// Request column), so an upgraded verifier keeps pulling successfully
 // from not-yet-upgraded peers during a rolling upgrade. Compatibility is
-// one-directional: a pre-federation DecodeRecords cannot parse the v2
-// header, so old requesters pulling from an upgraded responder fail with
-// a corruption error until they upgrade too — upgrade the pullers first.
+// one-directional: an older DecodeRecords cannot parse a newer header,
+// so old requesters pulling from an upgraded responder fail with a
+// corruption error until they upgrade too — upgrade the pullers first.
 // Unlike segment recovery — which salvages the valid prefix of a torn
 // tail — a short or corrupt wire delta is an error: nothing was crashed
 // here, so damage means a bad peer or transport.

@@ -32,7 +32,7 @@ func pull(t *testing.T, dst, src *Store) []Record {
 	if !reflect.DeepEqual(decoded, delta) {
 		t.Fatalf("wire framing not lossless: sent %+v, received %+v", delta, decoded)
 	}
-	applied, err := dst.Ingest(decoded)
+	applied, _, err := dst.Ingest(decoded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,12 +57,12 @@ func TestAntiEntropyConvergesDisjointStores(t *testing.T) {
 	b, _ := mustOpen(t, t.TempDir(), Options{})
 	defer b.Close()
 	for i := 0; i < 5; i++ {
-		if !a.Append(testKey(i), testVerdict(i)) {
+		if !a.Append(testKey(i), testVerdict(i), nil) {
 			t.Fatal("append refused")
 		}
 	}
 	for i := 5; i < 8; i++ {
-		if !b.Append(testKey(i), testVerdict(i)) {
+		if !b.Append(testKey(i), testVerdict(i), nil) {
 			t.Fatal("append refused")
 		}
 	}
@@ -107,9 +107,9 @@ func TestAntiEntropyNewestStampWins(t *testing.T) {
 	b, _ := mustOpen(t, t.TempDir(), Options{})
 	defer b.Close()
 	key := testKey(0)
-	a.Append(key, testVerdict(1)) // a's stamp 1
-	b.Append(key, testVerdict(2)) // b's stamp 1
-	b.Append(key, testVerdict(3)) // b's stamp 2: b's live copy
+	a.Append(key, testVerdict(1), nil) // a's stamp 1
+	b.Append(key, testVerdict(2), nil) // b's stamp 1
+	b.Append(key, testVerdict(3), nil) // b's stamp 2: b's live copy
 
 	// a pulls from b: b's stamp-2 record beats a's stamp-1 record.
 	if n := pull(t, a, b); len(n) != 1 || n[0].Stamp != 2 {
@@ -137,7 +137,7 @@ func TestAntiEntropyNewestStampWins(t *testing.T) {
 	}
 
 	// A stale re-offer (the loser's record) must be skipped.
-	applied, err := b.Ingest([]Record{{Key: key, Stamp: 1, Verdict: testVerdict(1)}})
+	applied, _, err := b.Ingest([]Record{{Key: key, Stamp: 1, Verdict: testVerdict(1)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +151,10 @@ func TestAntiEntropyNewestStampWins(t *testing.T) {
 func TestIngestAdvancesLocalClock(t *testing.T) {
 	s, _ := mustOpen(t, t.TempDir(), Options{})
 	defer s.Close()
-	if _, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 50, Verdict: testVerdict(0)}}); err != nil {
+	if _, _, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 50, Verdict: testVerdict(0)}}); err != nil {
 		t.Fatal(err)
 	}
-	s.Append(testKey(1), testVerdict(1))
+	s.Append(testKey(1), testVerdict(1), nil)
 	m := manifestOf(t, s)
 	if m[testKey(1)].Stamp <= 50 {
 		t.Fatalf("local append stamped %d, want > 50 (ingested clock)", m[testKey(1)].Stamp)
@@ -171,10 +171,10 @@ func TestDeltaSkipsRestampedIdenticalContent(t *testing.T) {
 	b, _ := mustOpen(t, t.TempDir(), Options{})
 	defer b.Close()
 	key := testKey(0)
-	a.Append(key, testVerdict(7))
+	a.Append(key, testVerdict(7), nil)
 	// b holds the same verdict at a much newer stamp — as if b compacted
 	// and re-ranked it after the replicas had converged.
-	if _, err := b.Ingest([]Record{{Key: key, Stamp: 9, Verdict: testVerdict(7)}}); err != nil {
+	if _, _, err := b.Ingest([]Record{{Key: key, Stamp: 9, Verdict: testVerdict(7)}}); err != nil {
 		t.Fatal(err)
 	}
 	delta, err := b.Delta(manifestOf(t, a))
@@ -185,7 +185,7 @@ func TestDeltaSkipsRestampedIdenticalContent(t *testing.T) {
 		t.Fatalf("re-stamped identical content produced a delta: %+v", delta)
 	}
 	// Different content at the newer stamp must still transfer.
-	if _, err := b.Ingest([]Record{{Key: key, Stamp: 10, Verdict: testVerdict(8)}}); err != nil {
+	if _, _, err := b.Ingest([]Record{{Key: key, Stamp: 10, Verdict: testVerdict(8)}}); err != nil {
 		t.Fatal(err)
 	}
 	delta, err = b.Delta(manifestOf(t, a))
@@ -203,9 +203,9 @@ func TestDeltaSkipsRestampedIdenticalContent(t *testing.T) {
 func TestIngestRespectsMaxLive(t *testing.T) {
 	s, _ := mustOpen(t, t.TempDir(), Options{MaxLive: 2, SyncEvery: 1})
 	defer s.Close()
-	s.Append(testKey(0), testVerdict(0))
-	s.Append(testKey(1), testVerdict(1))
-	applied, err := s.Ingest([]Record{
+	s.Append(testKey(0), testVerdict(0), nil)
+	s.Append(testKey(1), testVerdict(1), nil)
+	applied, _, err := s.Ingest([]Record{
 		{Key: testKey(2), Stamp: 100, Verdict: testVerdict(2)}, // new key: at the bound, declined
 		{Key: testKey(0), Stamp: 101, Verdict: testVerdict(9)}, // update: always lands
 	})
@@ -232,7 +232,7 @@ func TestIngestSurfacesWriteError(t *testing.T) {
 	if err := s.tail.Close(); err != nil { // kill the disk under the flusher
 		t.Fatal(err)
 	}
-	applied, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 1, Verdict: testVerdict(0)}})
+	applied, _, err := s.Ingest([]Record{{Key: testKey(0), Stamp: 1, Verdict: testVerdict(0)}})
 	if err == nil {
 		t.Fatal("ingest on a dead store reported success")
 	}
@@ -275,7 +275,7 @@ func TestSyncAPIAfterClose(t *testing.T) {
 	if _, err := s.Delta(nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("Delta after Close: err = %v, want ErrClosed", err)
 	}
-	if _, err := s.Ingest(nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := s.Ingest(nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("Ingest after Close: err = %v, want ErrClosed", err)
 	}
 }

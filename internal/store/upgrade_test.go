@@ -79,7 +79,7 @@ func TestOpenUpgradesV1Log(t *testing.T) {
 	// And it must keep working: a fresh append lands with the configured
 	// origin and everything survives a restart.
 	fresh := identity.DigestBytes([]byte("post-upgrade"))
-	if !s.Append(fresh, testVerdict(9)) {
+	if !s.Append(fresh, testVerdict(9), nil) {
 		t.Fatal("append refused after upgrade")
 	}
 	if err := s.Close(); err != nil {
@@ -124,7 +124,7 @@ func TestOriginSurvivesIngestAndDelta(t *testing.T) {
 	defer s.Close()
 	const peer = identity.PartyID("bb22")
 	in := []Record{{Key: testKey(1), Stamp: 7, Origin: peer, Verdict: testVerdict(1)}}
-	applied, err := s.Ingest(in)
+	applied, _, err := s.Ingest(in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,7 @@ import (
 	"rationality/internal/service"
 	"rationality/internal/store"
 	"rationality/internal/transport"
+	"rationality/internal/trust"
 )
 
 // Exact arithmetic (see internal/numeric).
@@ -256,6 +257,85 @@ var (
 	// forged, tampered or replayed signature.
 	ErrBadSignature = identity.ErrBadSignature
 )
+
+// The accountability loop (see internal/trust and the service layer's
+// audit pipeline): proven refutations charge the vouching peer's
+// reputation, a trust policy quarantines peers that fall below threshold
+// — their deltas are counted but refused, the sync loop stops dialing
+// them — and probation is the earned re-entry path. Quarantine state
+// persists across restarts.
+type (
+	// TrustPolicy is the per-peer quarantine state machine
+	// (active → quarantined → probation → active), driven by the shared
+	// reputation registry and persisted on every transition. Attach one
+	// via ServiceConfig.Trust.
+	TrustPolicy = trust.Policy
+	// TrustConfig parameterizes a TrustPolicy: registry, quarantine
+	// threshold, readmission bar, probation duration and state file.
+	TrustConfig = trust.Config
+	// TrustState is a peer's standing: TrustActive, TrustQuarantined or
+	// TrustProbation.
+	TrustState = trust.State
+	// TrustStatus is one peer's standing joined with its live reputation,
+	// as reported by TrustPolicy.Snapshot.
+	TrustStatus = trust.Status
+	// Syncer is the resilient anti-entropy pull loop: jittered cadence,
+	// per-peer exponential backoff, a circuit breaker for dead peers, and
+	// quarantine-aware skipping. Build with VerificationService.StartSyncer.
+	Syncer = service.Syncer
+	// SyncerConfig configures StartSyncer: peers, cadence, timeout,
+	// backoff cap, breaker threshold and jitter fraction.
+	SyncerConfig = service.SyncerConfig
+	// SyncPeerStats is one peer's sync-loop state (breaker state, backoff,
+	// attempt/failure/skip counters), reported in ServiceStats.SyncPeers.
+	SyncPeerStats = service.SyncPeerStats
+	// ProvenanceResponse is the "provenance" wire reply: whose word the
+	// authority is serving, one ProvenancePeer per vouching party.
+	ProvenanceResponse = service.ProvenanceResponse
+	// ProvenancePeer is one vouching party: its live-record count joined
+	// with the trust policy's standing.
+	ProvenancePeer = service.ProvenancePeer
+	// ChaosClient wraps a transport client with seeded fault injection
+	// (drop, delay, duplicate, garble) for resilience tests.
+	ChaosClient = transport.ChaosClient
+	// ChaosConfig sets the per-fault probabilities and the seed of a
+	// ChaosClient.
+	ChaosConfig = transport.ChaosConfig
+	// ChaosStats counts the faults a ChaosClient has injected.
+	ChaosStats = transport.ChaosStats
+)
+
+// Peer standings of the trust policy's state machine.
+const (
+	// TrustActive: deltas are ingested and the sync loop dials the peer.
+	TrustActive = trust.Active
+	// TrustQuarantined: deltas are counted but refused; the sync loop
+	// skips the peer until probation opens.
+	TrustQuarantined = trust.Quarantined
+	// TrustProbation: ingestion has resumed on trial — clean exchanges
+	// readmit the peer, one new charge re-quarantines it.
+	TrustProbation = trust.Probation
+	// MsgProvenance is the wire message type of the provenance report.
+	MsgProvenance = service.MsgProvenance
+)
+
+// Accountability errors.
+var (
+	// ErrPeerQuarantined rejects a sync-delta whose signer the trust
+	// policy currently quarantines.
+	ErrPeerQuarantined = service.ErrPeerQuarantined
+	// ErrInjectedDrop is returned by a ChaosClient call it swallowed.
+	ErrInjectedDrop = transport.ErrInjectedDrop
+)
+
+// NewTrustPolicy builds the quarantine state machine over a reputation
+// registry; set TrustConfig.Path to persist peer standings across
+// restarts.
+func NewTrustPolicy(cfg TrustConfig) (*TrustPolicy, error) { return trust.New(cfg) }
+
+// Chaos wraps a client with seeded fault injection; with a zero
+// ChaosConfig it is a transparent pass-through.
+func Chaos(inner Client, cfg ChaosConfig) *ChaosClient { return transport.Chaos(inner, cfg) }
 
 // LoadKeyFile reads a signing identity saved by SaveKeyFile (hex Ed25519
 // seed, one line, mode 0600). A malformed file is an error, never a
