@@ -34,6 +34,13 @@
 //	authority verifier -id a -listen 127.0.0.1:7101 -persist ./a \
 //	    -peers 127.0.0.1:7102,127.0.0.1:7103 -sync-interval 30s
 //
+//	# at federation scale, replace the all-pairs pull with epidemic
+//	# push-pull gossip: each interval the verifier exchanges fingerprints
+//	# and signed deltas with -fanout random peers, converging in O(log n)
+//	# rounds instead of O(n²) exchanges
+//	authority verifier -id a -listen 127.0.0.1:7101 -persist ./a \
+//	    -peers 127.0.0.1:7102,127.0.0.1:7103 -gossip -fanout 2 -sync-interval 10s
+//
 //	# federate across operator boundaries: each authority signs the deltas
 //	# it serves with its on-disk Ed25519 identity (auto-generated in the
 //	# persist dir, or keygen + -key), and -peer-keys allowlists whose
@@ -76,6 +83,7 @@ import (
 	"rationality/internal/bimatrix"
 	"rationality/internal/core"
 	"rationality/internal/game"
+	"rationality/internal/gossip"
 	"rationality/internal/identity"
 	"rationality/internal/numeric"
 	"rationality/internal/obs"
@@ -134,6 +142,7 @@ func usage() {
                      [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
                      [-sync-backoff-max d] [-sync-jitter x] [-key file] [-peer-keys hexkey,hexkey,...]
                      [-audit-rate x] [-quarantine-threshold x] [-probation d] [-admin addr]
+                     [-gossip] [-fanout n] [-rumor-ttl n]
   authority keygen -key <file>                (create or load a signing identity; print its party ID)
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
@@ -228,6 +237,12 @@ func runVerifier(args []string) error {
 		"cap on the per-peer exponential backoff between failed anti-entropy pulls (a dead peer costs one dial per window, not one per tick)")
 	syncJitter := fs.Float64("sync-jitter", service.DefaultSyncJitter,
 		"fraction by which the anti-entropy cadence and backoff windows are randomized, so a fleet restarted together does not pull in lockstep (0 disables)")
+	gossipMode := fs.Bool("gossip", false,
+		"replicate via epidemic push-pull gossip instead of all-pairs pulls: each -sync-interval the verifier exchanges with -fanout random -peers, so a federation of n converges in O(log n) rounds at O(n·fanout) exchanges instead of O(n²) (requires -peers)")
+	fanout := fs.Int("fanout", gossip.DefaultFanout,
+		"gossip partners contacted per round (capped at the peer count; requires -gossip)")
+	rumorTTL := fs.Int("rumor-ttl", gossip.DefaultRumorTTL,
+		"how many successful exchanges a fresh verdict is pushed eagerly before relying on anti-entropy (requires -gossip)")
 	auditRate := fs.Float64("audit-rate", 0,
 		"fraction of ingested peer records re-verified locally in the background (0 disables, 1 audits everything; a refuted record charges the vouching peer and is repaired; requires -persist)")
 	quarThreshold := fs.Float64("quarantine-threshold", trust.DefaultThreshold,
@@ -247,6 +262,15 @@ func runVerifier(args []string) error {
 		return err
 	}
 	peerAddrs := splitNonEmpty(*peers)
+	if *gossipMode && len(peerAddrs) == 0 {
+		return fmt.Errorf("-gossip requires -peers: gossip partners are drawn from the peer list")
+	}
+	if *fanout < 1 {
+		return fmt.Errorf("-fanout must be at least 1, got %d", *fanout)
+	}
+	if *rumorTTL < 1 {
+		return fmt.Errorf("-rumor-ttl must be at least 1, got %d", *rumorTTL)
+	}
 	if len(peerAddrs) > 0 {
 		if *persist == "" {
 			// Anti-entropy replicates the durable log; without one there is
@@ -478,7 +502,41 @@ func runVerifier(args []string) error {
 		fmt.Printf("verifier %q is BYZANTINE: every verdict inverted before it is persisted and vouched for\n", *id)
 	}
 	var stopSync func()
-	if len(peerAddrs) > 0 {
+	if len(peerAddrs) > 0 && *gossipMode {
+		fmt.Printf("gossip: fanout %d over %d peers every %s (rumor ttl %d)\n",
+			*fanout, len(peerAddrs), *syncInterval, *rumorTTL)
+		// The engine's Jitter treats 0 as "use the default"; the flag's 0
+		// means "disable", which the engine spells as negative.
+		jitter := *syncJitter
+		if jitter == 0 {
+			jitter = -1
+		}
+		g, err := svc.StartGossiper(service.GossiperConfig{
+			Peers:    peerAddrs,
+			Fanout:   *fanout,
+			Interval: *syncInterval,
+			Jitter:   jitter,
+			RumorTTL: *rumorTTL,
+			Timeout:  *syncTimeout,
+			Dial: func(addr string) (transport.Client, error) {
+				return transport.DialTCP(addr, *syncTimeout)
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+			OnRound: func(exchanged bool) {
+				// Readiness means the same thing under gossip as under the
+				// pull loop: one round with at least one successful exchange.
+				if exchanged && ready != nil {
+					ready.Mark(obs.GateFirstSync)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		stopSync = g.Stop
+	} else if len(peerAddrs) > 0 {
 		fmt.Printf("anti-entropy: pulling from %d peers every %s\n", len(peerAddrs), *syncInterval)
 		// The syncer's Jitter treats 0 as "use the default"; the flag's 0
 		// means "disable", which the syncer spells as negative.

@@ -12,6 +12,7 @@
 //	experiments -run coq-proof     # E7: §3 enumeration proof blow-up
 //	experiments -run lemma2        # E8: greedy vs exact OPT bound
 //	experiments -run fig5          # E9: Fig. 5 / Remark 2 ambiguity
+//	experiments -run federation    # E12: gossip vs all-pairs (BENCH_federation.json)
 package main
 
 import (
@@ -45,6 +46,7 @@ var experiments = []experiment{
 	{"fig5", "E9: Fig. 5 / Remark 2 — P2's equilibrium ambiguity", runFig5},
 	{"ablation", "E10: §6's two statistics models — prior-known vs dynamic average", runAblation},
 	{"adoption", "E11: §6's follow-the-inventor probability p swept from 0 to 1", runAdoption},
+	{"federation", "E12: gossip vs all-pairs convergence at n=20/50 (BENCH_federation.json)", runFederation},
 }
 
 func main() {

@@ -1,0 +1,533 @@
+// Package gossip implements the epidemic push-pull replication rounds
+// that replace all-pairs anti-entropy at federation scale. Each round a
+// node picks a small random fan-out of peers, probes each with a compact
+// store fingerprint (and any hot "rumor" records riding along), and only
+// reconciles fully — manifests and signed deltas both directions — when
+// the fingerprints disagree. With fan-out k ≥ 1 an update reaches all n
+// nodes in O(log n) rounds with high probability (the standard epidemic
+// analysis; see Aspnes's distributed-systems notes in PAPERS.md), at
+// k·n exchanges per round instead of the n·(n−1) of an all-pairs pass.
+//
+// The engine is deliberately policy-free: it owns round cadence, peer
+// selection, rumor TTLs and statistics, and delegates the exchange
+// itself to an injected callback — the service layer supplies one that
+// routes every transferred record through its signed federation gate, so
+// gossip inherits allowlisting, quarantine and audit sampling unchanged.
+// (The service package imports this one; the callback keeps the
+// dependency one-directional.)
+package gossip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rationality/internal/identity"
+	"rationality/internal/transport"
+)
+
+// Engine defaults, applied by New for zero Config fields.
+const (
+	// DefaultFanout is how many peers one round exchanges with.
+	DefaultFanout = 2
+	// DefaultRumorTTL is how many successful exchanges a fresh record is
+	// eagerly pushed through before demotion to anti-entropy repair.
+	DefaultRumorTTL = 3
+	// DefaultAntiEntropyEvery forces a full manifest reconciliation every
+	// Nth round even when fingerprints agree — the repair backstop against
+	// fingerprint collisions and half-open partitions.
+	DefaultAntiEntropyEvery = 8
+	// DefaultTimeout bounds one exchange (dial included).
+	DefaultTimeout = time.Minute
+	// DefaultJitter is the fraction by which the round cadence is
+	// randomized.
+	DefaultJitter = 0.2
+)
+
+// Request is what the engine asks of one exchange: the hot keys to push
+// as rumors, and whether to force a full reconciliation regardless of
+// fingerprint agreement.
+type Request struct {
+	// Rumors are the keys whose records should be pushed eagerly.
+	Rumors []identity.Hash
+	// Full forces the complete manifest exchange (the anti-entropy
+	// backstop round).
+	Full bool
+}
+
+// Result is one completed exchange as the injected callback reports it.
+type Result struct {
+	// Signer is the peer's proven signing identity, learned from the
+	// exchange — what quarantine-aware selection keys on.
+	Signer identity.PartyID
+	// InSync reports that the fingerprints matched (after any rumor
+	// application) and no reconciliation was needed: a cheap round.
+	InSync bool
+	// Sent / Received count records transferred in each direction.
+	Sent, Received int
+	// BytesSent / BytesReceived count the payload bytes of those
+	// transfers (framed records plus manifests).
+	BytesSent, BytesReceived uint64
+}
+
+// ExchangeFunc performs one push-pull exchange with a dialed peer.
+type ExchangeFunc func(ctx context.Context, peer transport.Client, req Request) (Result, error)
+
+// Config configures an Engine.
+type Config struct {
+	// Peers are the addresses eligible as gossip partners. Required,
+	// non-empty.
+	Peers []string
+	// Fanout is how many peers each round exchanges with; zero means
+	// DefaultFanout, capped at len(Peers).
+	Fanout int
+	// Interval is the round cadence for Start; zero means the engine is
+	// driven manually through Round (harnesses, tests).
+	Interval time.Duration
+	// Jitter randomizes the cadence by ±Jitter (0.2 = ±20%). Zero means
+	// DefaultJitter; negative disables jitter.
+	Jitter float64
+	// RumorTTL is how many successful exchanges each rumor rides; zero
+	// means DefaultRumorTTL.
+	RumorTTL int
+	// AntiEntropyEvery forces a full reconciliation every Nth round; zero
+	// means DefaultAntiEntropyEvery, 1 makes every round full, negative
+	// disables the backstop.
+	AntiEntropyEvery int
+	// Timeout bounds one exchange; zero means DefaultTimeout.
+	Timeout time.Duration
+	// Seed seeds peer selection and jitter; zero uses the clock. The
+	// resolved seed is logged and reported in Stats, so any run — chaos
+	// tests included — replays exactly from its log line.
+	Seed int64
+	// Dial opens a client to a peer address. Required.
+	Dial func(addr string) (transport.Client, error)
+	// Exchange runs one push-pull exchange. Required.
+	Exchange ExchangeFunc
+	// Permitted, when non-nil, vets a peer's proven signing identity
+	// before selection: a false answer (e.g. quarantined by the trust
+	// policy) skips the peer without dialing.
+	Permitted func(signer identity.PartyID) bool
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnRound, when non-nil, observes every completed round with whether
+	// at least one exchange succeeded — the readiness-gate hook.
+	OnRound func(exchanged bool)
+}
+
+// peerState is one peer's engine-side state, guarded by Engine.mu.
+type peerState struct {
+	addr   string
+	client transport.Client
+	signer identity.PartyID
+
+	exchanges         uint64
+	failures          uint64
+	sent              uint64
+	received          uint64
+	skippedQuarantine uint64
+}
+
+// Engine runs gossip rounds. Build with New; drive with Round, or Start
+// the background loop and Stop it on shutdown.
+type Engine struct {
+	cfg  Config
+	seed int64
+
+	// roundMu serializes rounds (the loop and manual Round callers);
+	// mu guards the mutable state below and is never held across an
+	// exchange.
+	roundMu sync.Mutex
+	mu      sync.Mutex
+	rng     *rand.Rand
+	peers   []*peerState
+	board   map[identity.Hash]int // rumor key -> remaining TTL
+	rounds  uint64
+	exchgs  uint64
+	fails   uint64
+	inSync  uint64
+	sent    uint64
+	recvd   uint64
+	bytesTx uint64
+	bytesRx uint64
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	exited  chan struct{}
+	start   sync.Once
+	stop    sync.Once
+	looping bool // Start launched the loop goroutine
+}
+
+// New validates the configuration and builds an idle engine: no goroutine
+// runs until Start, and Round can be called directly for manually stepped
+// harnesses.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("gossip: engine needs at least one peer address")
+	}
+	if cfg.Dial == nil || cfg.Exchange == nil {
+		return nil, errors.New("gossip: engine needs Dial and Exchange")
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("gossip: negative interval %s", cfg.Interval)
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.Fanout > len(cfg.Peers) {
+		cfg.Fanout = len(cfg.Peers)
+	}
+	if cfg.RumorTTL <= 0 {
+		cfg.RumorTTL = DefaultRumorTTL
+	}
+	switch {
+	case cfg.AntiEntropyEvery == 0:
+		cfg.AntiEntropyEvery = DefaultAntiEntropyEvery
+	case cfg.AntiEntropyEvery < 0:
+		cfg.AntiEntropyEvery = 0 // no backstop
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = DefaultJitter
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:    cfg,
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)),
+		board:  make(map[identity.Hash]int),
+		ctx:    ctx,
+		cancel: cancel,
+		exited: make(chan struct{}),
+	}
+	for _, addr := range cfg.Peers {
+		e.peers = append(e.peers, &peerState{addr: addr})
+	}
+	// The seed line is what makes a chaos failure replayable: re-run with
+	// Config.Seed set to the logged value and the same peer selections,
+	// jitter and fault plans come back.
+	cfg.Logf("gossip: fanout=%d rumor-ttl=%d anti-entropy-every=%d seed=%d",
+		cfg.Fanout, cfg.RumorTTL, cfg.AntiEntropyEvery, seed)
+	return e, nil
+}
+
+// Seed reports the resolved selection/jitter seed (the logged value).
+func (e *Engine) Seed() int64 { return e.seed }
+
+// AddRumor marks a key hot: its record is pushed eagerly on the next
+// RumorTTL successful exchanges. Safe from any goroutine; re-adding a
+// key refreshes its TTL.
+func (e *Engine) AddRumor(key identity.Hash) {
+	e.mu.Lock()
+	e.board[key] = e.cfg.RumorTTL
+	e.mu.Unlock()
+}
+
+// Start launches the background round loop: one round immediately, then
+// one per jittered interval until Stop. It is an error to Start an
+// engine configured without an Interval (a manually stepped one).
+func (e *Engine) Start() error {
+	if e.cfg.Interval <= 0 {
+		return errors.New("gossip: Start needs Config.Interval (zero means manual Round stepping)")
+	}
+	e.start.Do(func() {
+		if e.ctx.Err() != nil {
+			return // already stopped; never launch
+		}
+		e.mu.Lock()
+		e.looping = true
+		e.mu.Unlock()
+		go e.run()
+	})
+	return nil
+}
+
+// Stop halts the loop, cancels any in-flight exchange, and closes the
+// peer clients. Safe to call more than once, and valid for manually
+// stepped engines too (it releases the clients Round dialed).
+func (e *Engine) Stop() {
+	e.stop.Do(func() {
+		e.cancel()
+		e.mu.Lock()
+		looping := e.looping
+		e.mu.Unlock()
+		if looping {
+			<-e.exited
+		}
+		// Serialize with any in-flight manual Round, then release clients.
+		e.roundMu.Lock()
+		defer e.roundMu.Unlock()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for _, p := range e.peers {
+			if p.client != nil {
+				_ = p.client.Close()
+				p.client = nil
+			}
+		}
+	})
+}
+
+// run is the loop goroutine.
+func (e *Engine) run() {
+	defer close(e.exited)
+	_ = e.Round(e.ctx)
+	for {
+		e.mu.Lock()
+		d := e.jitterLocked(e.cfg.Interval)
+		e.mu.Unlock()
+		timer := time.NewTimer(d)
+		select {
+		case <-e.ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if err := e.Round(e.ctx); err != nil && e.ctx.Err() == nil {
+			e.cfg.Logf("gossip: round: %v", err)
+		}
+	}
+}
+
+// Round runs one gossip round: pick Fanout random non-quarantined peers,
+// exchange with each (rumors pushed, fingerprints probed, reconciliation
+// when they disagree or the anti-entropy backstop is due), then age the
+// rumor board by the number of successful exchanges. Rounds serialize;
+// concurrent callers queue. The error is the context's, never a peer's —
+// peer failures are counted, logged and survived.
+func (e *Engine) Round(ctx context.Context) error {
+	e.roundMu.Lock()
+	defer e.roundMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	e.rounds++
+	full := e.cfg.AntiEntropyEvery > 0 && e.rounds%uint64(e.cfg.AntiEntropyEvery) == 0
+	partners := e.selectLocked()
+	rumors := make([]identity.Hash, 0, len(e.board))
+	for k := range e.board {
+		rumors = append(rumors, k)
+	}
+	e.mu.Unlock()
+
+	succeeded := 0
+	for _, p := range partners {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if e.exchangeWith(ctx, p, Request{Rumors: rumors, Full: full}) {
+			succeeded++
+		}
+	}
+
+	e.mu.Lock()
+	if succeeded > 0 {
+		for _, k := range rumors {
+			if ttl, ok := e.board[k]; ok {
+				if ttl -= succeeded; ttl <= 0 {
+					delete(e.board, k)
+				} else {
+					e.board[k] = ttl
+				}
+			}
+		}
+	}
+	e.mu.Unlock()
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(succeeded > 0)
+	}
+	return nil
+}
+
+// selectLocked picks this round's partners: a seeded shuffle of the peer
+// list, keeping the first Fanout peers whose proven identity the
+// Permitted hook does not veto. Peers with no proven identity yet are
+// always eligible — their first exchange is what proves it, and the
+// service-side federation gate refuses their data regardless if they
+// turn out quarantined. Callers hold e.mu.
+func (e *Engine) selectLocked() []*peerState {
+	order := e.rng.Perm(len(e.peers))
+	picked := make([]*peerState, 0, e.cfg.Fanout)
+	for _, i := range order {
+		if len(picked) == e.cfg.Fanout {
+			break
+		}
+		p := e.peers[i]
+		if p.signer != "" && e.cfg.Permitted != nil && !e.cfg.Permitted(p.signer) {
+			p.skippedQuarantine++
+			continue
+		}
+		picked = append(picked, p)
+	}
+	return picked
+}
+
+// exchangeWith runs one peer's exchange and folds the result into the
+// counters. A failure closes the peer's client so the next selection
+// re-dials fresh.
+func (e *Engine) exchangeWith(ctx context.Context, p *peerState, req Request) bool {
+	e.mu.Lock()
+	client := p.client
+	e.mu.Unlock()
+	if client == nil {
+		c, err := e.cfg.Dial(p.addr)
+		if err != nil {
+			e.cfg.Logf("gossip: %s unreachable: %v", p.addr, err)
+			e.noteFailure(p, nil)
+			return false
+		}
+		e.mu.Lock()
+		p.client = c
+		e.mu.Unlock()
+		client = c
+	}
+	exCtx, cancel := context.WithTimeout(ctx, e.cfg.Timeout)
+	res, err := e.cfg.Exchange(exCtx, client, req)
+	cancel()
+	if res.Signer != "" {
+		e.mu.Lock()
+		p.signer = res.Signer
+		e.mu.Unlock()
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return false // shutdown mid-exchange: not a peer failure
+		}
+		e.cfg.Logf("gossip: exchange with %s: %v", p.addr, err)
+		e.noteFailure(p, client)
+		return false
+	}
+	e.mu.Lock()
+	p.exchanges++
+	p.sent += uint64(res.Sent)
+	p.received += uint64(res.Received)
+	e.exchgs++
+	e.sent += uint64(res.Sent)
+	e.recvd += uint64(res.Received)
+	e.bytesTx += res.BytesSent
+	e.bytesRx += res.BytesReceived
+	if res.InSync {
+		e.inSync++
+	}
+	e.mu.Unlock()
+	if res.Sent > 0 || res.Received > 0 {
+		e.cfg.Logf("gossip: exchanged with %s: sent=%d received=%d", p.addr, res.Sent, res.Received)
+	}
+	return true
+}
+
+// noteFailure counts one failed exchange and releases the peer's client.
+func (e *Engine) noteFailure(p *peerState, client transport.Client) {
+	e.mu.Lock()
+	p.failures++
+	e.fails++
+	if p.client == client && client != nil {
+		_ = client.Close()
+		p.client = nil
+	}
+	e.mu.Unlock()
+}
+
+// jitterLocked randomizes a duration by ±cfg.Jitter. Callers hold e.mu.
+func (e *Engine) jitterLocked(d time.Duration) time.Duration {
+	j := e.cfg.Jitter
+	if j <= 0 {
+		return d
+	}
+	delta := float64(d) * j
+	return time.Duration(float64(d) - delta + 2*delta*e.rng.Float64())
+}
+
+// Stats is a point-in-time snapshot of the engine's counters, carried in
+// the service Stats tree as the "gossip" section.
+type Stats struct {
+	// Rounds counts completed gossip rounds; Exchanges the successful
+	// peer exchanges inside them and Failures the failed ones.
+	Rounds    uint64 `json:"rounds"`
+	Exchanges uint64 `json:"exchanges"`
+	Failures  uint64 `json:"failures,omitempty"`
+	// InSync counts exchanges settled by fingerprint agreement alone — a
+	// converged federation idles at InSync ≈ Exchanges, which is the
+	// convergence signal dashboards watch.
+	InSync uint64 `json:"inSync,omitempty"`
+	// RecordsSent / RecordsReceived count records pushed to and pulled
+	// from peers; BytesSent / BytesReceived the payload bytes moved.
+	RecordsSent     uint64 `json:"recordsSent,omitempty"`
+	RecordsReceived uint64 `json:"recordsReceived,omitempty"`
+	BytesSent       uint64 `json:"bytesSent,omitempty"`
+	BytesReceived   uint64 `json:"bytesReceived,omitempty"`
+	// RumorsPending is the hot-record board's current population.
+	RumorsPending int `json:"rumorsPending,omitempty"`
+	// Fanout and Seed echo the engine's resolved configuration; Seed is
+	// what replays a run.
+	Fanout int   `json:"fanout"`
+	Seed   int64 `json:"seed"`
+	// Peers is the per-peer view, in configured order.
+	Peers []PeerStats `json:"peers,omitempty"`
+}
+
+// PeerStats is one peer's gossip history.
+type PeerStats struct {
+	// Address is the configured peer address; Signer the identity its
+	// exchanges proved (empty until the first completed exchange).
+	Address string           `json:"address"`
+	Signer  identity.PartyID `json:"signer,omitempty"`
+	// Exchanges / Failures count completed and failed exchanges;
+	// RecordsSent / RecordsReceived the records moved with this peer.
+	Exchanges       uint64 `json:"exchanges"`
+	Failures        uint64 `json:"failures,omitempty"`
+	RecordsSent     uint64 `json:"recordsSent,omitempty"`
+	RecordsReceived uint64 `json:"recordsReceived,omitempty"`
+	// SkippedQuarantine counts selections that passed over the peer
+	// because the trust policy quarantines its proven identity.
+	SkippedQuarantine uint64 `json:"skippedQuarantine,omitempty"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Rounds:          e.rounds,
+		Exchanges:       e.exchgs,
+		Failures:        e.fails,
+		InSync:          e.inSync,
+		RecordsSent:     e.sent,
+		RecordsReceived: e.recvd,
+		BytesSent:       e.bytesTx,
+		BytesReceived:   e.bytesRx,
+		RumorsPending:   len(e.board),
+		Fanout:          e.cfg.Fanout,
+		Seed:            e.seed,
+	}
+	for _, p := range e.peers {
+		st.Peers = append(st.Peers, PeerStats{
+			Address:           p.addr,
+			Signer:            p.signer,
+			Exchanges:         p.exchanges,
+			Failures:          p.failures,
+			RecordsSent:       p.sent,
+			RecordsReceived:   p.received,
+			SkippedQuarantine: p.skippedQuarantine,
+		})
+	}
+	return st
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rationality/internal/gossip"
 	"rationality/internal/service"
 )
 
@@ -232,9 +233,47 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 	}
 
 	writeSyncPeers(&p, st.SyncPeers)
+	writeGossip(&p, st.Gossip)
 
 	_, err := io.WriteString(w, p.b.String())
 	return err
+}
+
+// writeGossip renders the epidemic gossip loop's counters: round and
+// exchange totals, the in-sync probe count (a converged federation idles
+// at inSync ≈ exchanges — the convergence signal), payload bytes by
+// direction, the rumor-board gauge and the per-peer exchange view. Absent
+// entirely when no gossiper is attached.
+func writeGossip(p *promWriter, gs *gossip.Stats) {
+	if gs == nil {
+		return
+	}
+	p.counter("rationality_gossip_rounds_total", "Completed gossip rounds.", gs.Rounds)
+	p.counter("rationality_gossip_exchanges_total", "Successful push-pull exchanges across all rounds.", gs.Exchanges)
+	p.counter("rationality_gossip_exchange_failures_total", "Exchanges that failed (dial, timeout, refused delta); retried against other partners on later rounds.", gs.Failures)
+	p.counter("rationality_gossip_in_sync_total", "Exchanges settled by fingerprint agreement alone; a converged federation idles with this tracking exchanges.", gs.InSync)
+	p.family("rationality_gossip_records_total", "Records moved by gossip, by direction.", "counter")
+	p.sample("rationality_gossip_records_total", []promLabel{{"direction", "sent"}}, formatUint(gs.RecordsSent))
+	p.sample("rationality_gossip_records_total", []promLabel{{"direction", "received"}}, formatUint(gs.RecordsReceived))
+	p.family("rationality_gossip_payload_bytes_total", "Gossip payload bytes on the wire, by direction.", "counter")
+	p.sample("rationality_gossip_payload_bytes_total", []promLabel{{"direction", "sent"}}, formatUint(gs.BytesSent))
+	p.sample("rationality_gossip_payload_bytes_total", []promLabel{{"direction", "received"}}, formatUint(gs.BytesReceived))
+	p.gauge("rationality_gossip_rumors_pending", "Hot records currently on the rumor board, still being pushed eagerly.", int64(gs.RumorsPending))
+	p.gauge("rationality_gossip_fanout", "Partners contacted per round.", int64(gs.Fanout))
+	if len(gs.Peers) > 0 {
+		p.family("rationality_gossip_peer_exchanges_total", "Successful exchanges per configured gossip peer.", "counter")
+		for _, gp := range gs.Peers {
+			p.sample("rationality_gossip_peer_exchanges_total", []promLabel{{"peer", gp.Address}}, formatUint(gp.Exchanges))
+		}
+		p.family("rationality_gossip_peer_failures_total", "Failed exchanges per configured gossip peer.", "counter")
+		for _, gp := range gs.Peers {
+			p.sample("rationality_gossip_peer_failures_total", []promLabel{{"peer", gp.Address}}, formatUint(gp.Failures))
+		}
+		p.family("rationality_gossip_peer_skipped_quarantine_total", "Partner selections that passed over the peer because its proven identity is quarantined.", "counter")
+		for _, gp := range gs.Peers {
+			p.sample("rationality_gossip_peer_skipped_quarantine_total", []promLabel{{"peer", gp.Address}}, formatUint(gp.SkippedQuarantine))
+		}
+	}
 }
 
 // writeSyncPeers renders the resilient sync loop's per-peer breaker view:

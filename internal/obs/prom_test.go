@@ -14,6 +14,7 @@ import (
 
 	"rationality/internal/core"
 	"rationality/internal/game"
+	"rationality/internal/gossip"
 	"rationality/internal/identity"
 	"rationality/internal/proof"
 	"rationality/internal/service"
@@ -102,6 +103,25 @@ func fixtureStats() service.Stats {
 				SkippedBackoff: 40, SkippedQuarantine: 2,
 			},
 			{Address: "10.0.0.3:7002", State: "healthy", Attempts: 11, Pulled: 30},
+		},
+		Gossip: &gossip.Stats{
+			Rounds:          14,
+			Exchanges:       25,
+			Failures:        3,
+			InSync:          16,
+			RecordsSent:     42,
+			RecordsReceived: 37,
+			BytesSent:       9001,
+			BytesReceived:   8002,
+			RumorsPending:   2,
+			Fanout:          2,
+			Seed:            42,
+			Peers: []gossip.PeerStats{
+				{Address: "10.0.0.2:7002", Signer: "bb22bb22", Exchanges: 13,
+					Failures: 1, RecordsSent: 20, RecordsReceived: 17, SkippedQuarantine: 4},
+				{Address: "10.0.0.3:7002", Exchanges: 12, Failures: 2,
+					RecordsSent: 22, RecordsReceived: 20},
+			},
 		},
 	}
 }

@@ -59,6 +59,11 @@ func WriteText(w io.Writer, st service.Stats) {
 		fmt.Fprintf(w, "sync: peer %s state=%s attempts=%d pulled=%d failed=%d skippedBackoff=%d skippedQuarantine=%d\n",
 			sp.Address, sp.State, sp.Attempts, sp.Pulled, sp.Failed, sp.SkippedBackoff, sp.SkippedQuarantine)
 	}
+	if g := st.Gossip; g != nil {
+		fmt.Fprintf(w, "gossip: rounds=%d exchanges=%d failures=%d inSync=%d sent=%d received=%d bytesTx=%d bytesRx=%d rumors=%d fanout=%d seed=%d\n",
+			g.Rounds, g.Exchanges, g.Failures, g.InSync, g.RecordsSent, g.RecordsReceived,
+			g.BytesSent, g.BytesReceived, g.RumorsPending, g.Fanout, g.Seed)
+	}
 }
 
 // WatchDelta is one row of the live `stats -watch` view: the rates and

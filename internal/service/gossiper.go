@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rationality/internal/gossip"
+	"rationality/internal/identity"
+	"rationality/internal/store"
+	"rationality/internal/transport"
+)
+
+// Epidemic gossip: the federation-scale replacement for the all-pairs
+// sync loop. A Syncer pulls from every configured peer each interval —
+// O(n²) exchanges across a federation of n authorities — which is fine
+// for a handful of peers and ruinous for fifty. The Gossiper instead
+// runs push-pull rounds against a small random fan-out: each exchange
+// opens with a fixed-size store fingerprint (store.Summary) and any hot
+// "rumor" records, and only when fingerprints disagree does the pair
+// trade manifests and signed deltas both directions. An update reaches
+// every authority in O(log n) rounds while a converged federation idles
+// on fingerprint probes.
+//
+// Every record that moves — rumor push, pull delta, push delta — enters
+// the receiving authority through IngestDelta, the same signed federation
+// gate the Syncer uses: allowlist, Ed25519 transfer signatures, trust
+// quarantine, refutation charging and audit sampling all apply unchanged.
+// Gossip changes who talks to whom and how often, never what is trusted.
+
+// Gossip wire message types.
+const (
+	// MsgGossip opens an exchange: payload GossipRequest (the initiator's
+	// store fingerprint plus optional rumor records); reply
+	// "gossip-summary" with GossipSummaryResponse.
+	MsgGossip = "gossip"
+	// MsgGossipSummary answers MsgGossip and MsgGossipPush.
+	MsgGossipSummary = "gossip-summary"
+	// MsgGossipPull asks for reconciliation: payload SyncOfferRequest (the
+	// initiator's manifest); reply "gossip-exchange" with the records the
+	// initiator is missing plus the responder's own manifest.
+	MsgGossipPull = "gossip-pull"
+	// MsgGossipExchange is the reply type to a gossip-pull.
+	MsgGossipExchange = "gossip-exchange"
+	// MsgGossipPush completes the exchange: payload GossipPushRequest (the
+	// responder's echoed manifest and the signed delta answering it);
+	// reply "gossip-summary".
+	MsgGossipPush = "gossip-push"
+)
+
+// GossipRequest opens a push-pull exchange: the initiator's fingerprint,
+// whether it wants a full reconciliation regardless of agreement (the
+// anti-entropy backstop), and any rumor records it is eagerly spreading.
+type GossipRequest struct {
+	VerifierID string `json:"verifierId"`
+	// Count and Digest are the initiator's store.Summary fingerprint.
+	Count  int    `json:"count"`
+	Digest uint64 `json:"digest"`
+	// Full forces manifest reconciliation even when fingerprints agree.
+	Full bool `json:"full,omitempty"`
+	// Rumors, when non-nil, carries hot records as a signed delta bound to
+	// the empty offer (rumor pushes are unsolicited: there is no real offer
+	// to bind to, and ingestion stays safe because the receiving gate
+	// verifies signer, allowlist and quarantine exactly as for any delta).
+	Rumors *SyncDeltaResponse `json:"rumors,omitempty"`
+}
+
+// GossipSummaryResponse reports a responder's own fingerprint after it
+// absorbed whatever the triggering message carried.
+type GossipSummaryResponse struct {
+	VerifierID string `json:"verifierId"`
+	// Signer is the responder's claimed signing identity. It is advisory
+	// (summaries are unsigned); any identity that matters — quarantine
+	// skipping, provenance — is taken from verified delta signatures.
+	Signer identity.PartyID `json:"signer,omitempty"`
+	Count  int              `json:"count"`
+	Digest uint64           `json:"digest"`
+	// Applied is how many carried records the responder's gate accepted.
+	Applied int `json:"applied,omitempty"`
+}
+
+// GossipExchangeResponse answers a gossip-pull: the signed delta for the
+// initiator's manifest, plus the responder's own manifest so the
+// initiator can push back what the responder is missing.
+type GossipExchangeResponse struct {
+	VerifierID string            `json:"verifierId"`
+	Delta      SyncDeltaResponse `json:"delta"`
+	Have       SyncOfferRequest  `json:"have"`
+}
+
+// GossipPushRequest is the push half: the responder's manifest (echoed
+// back to it) and the initiator's signed delta answering it. The echo is
+// safe to trust blind: the delta signature binds to the echoed offer's
+// digest, and a fabricated offer can at worst make the receiver re-ingest
+// records it already holds — newest-stamp-wins makes that a no-op.
+type GossipPushRequest struct {
+	Offer SyncOfferRequest  `json:"offer"`
+	Delta SyncDeltaResponse `json:"delta"`
+}
+
+// GossiperConfig configures a service's gossip loop. The zero value of
+// every knob defers to the gossip engine's defaults.
+type GossiperConfig struct {
+	// Peers are the gossip partner addresses. Required, non-empty.
+	Peers []string
+	// Fanout is how many peers each round exchanges with (default
+	// gossip.DefaultFanout, capped at len(Peers)).
+	Fanout int
+	// Interval is the round cadence; zero means manual stepping via
+	// Gossiper.Round (harnesses, tests).
+	Interval time.Duration
+	// Jitter randomizes the cadence (0 = default ±20%, negative = off).
+	Jitter float64
+	// RumorTTL is how many successful exchanges a fresh verdict rides
+	// eagerly (default gossip.DefaultRumorTTL).
+	RumorTTL int
+	// AntiEntropyEvery forces a full reconciliation every Nth round
+	// (default gossip.DefaultAntiEntropyEvery; negative disables).
+	AntiEntropyEvery int
+	// Timeout bounds one exchange (default gossip.DefaultTimeout).
+	Timeout time.Duration
+	// Seed seeds peer selection and jitter; zero draws from the clock.
+	// The resolved value is logged and reported in Stats().Gossip.Seed,
+	// so any run replays from its log line.
+	Seed int64
+	// Dial opens a client to a peer address. Required.
+	Dial func(addr string) (transport.Client, error)
+	// Logf, when non-nil, receives the engine's log lines.
+	Logf func(format string, args ...any)
+	// OnRound, when non-nil, observes each round with whether at least
+	// one exchange succeeded — the readiness-gate hook.
+	OnRound func(exchanged bool)
+}
+
+// Gossiper runs epidemic push-pull gossip for one service: the engine
+// picks partners and paces rounds, the service supplies the exchange
+// (fingerprints, signed deltas, the federation gate). Create with
+// Service.StartGossiper.
+type Gossiper struct {
+	engine *gossip.Engine
+}
+
+// StartGossiper attaches a gossip loop to the service and registers it in
+// Stats().Gossip. With cfg.Interval set the round loop starts
+// immediately; with Interval zero the Gossiper is manually stepped
+// (Round), which is how harnesses drive lockstep convergence
+// measurements. Requires a durable store (gossip replicates the log) and
+// at most one Gossiper per service.
+func (s *Service) StartGossiper(cfg GossiperConfig) (*Gossiper, error) {
+	if s.store == nil {
+		return nil, ErrNoStore
+	}
+	if s.gossiper.Load() != nil {
+		return nil, errors.New("service: gossiper already started")
+	}
+	e, err := gossip.New(gossip.Config{
+		Peers:            cfg.Peers,
+		Fanout:           cfg.Fanout,
+		Interval:         cfg.Interval,
+		Jitter:           cfg.Jitter,
+		RumorTTL:         cfg.RumorTTL,
+		AntiEntropyEvery: cfg.AntiEntropyEvery,
+		Timeout:          cfg.Timeout,
+		Seed:             cfg.Seed,
+		Dial:             cfg.Dial,
+		Exchange:         s.gossipExchange,
+		Permitted: func(p identity.PartyID) bool {
+			return s.trust == nil || s.trust.Allowed(string(p))
+		},
+		Logf:    cfg.Logf,
+		OnRound: cfg.OnRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := &Gossiper{engine: e}
+	if !s.gossiper.CompareAndSwap(nil, g) {
+		e.Stop()
+		return nil, errors.New("service: gossiper already started")
+	}
+	if cfg.Interval > 0 {
+		if err := e.Start(); err != nil {
+			s.gossiper.Store(nil)
+			e.Stop()
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Round runs one manually stepped gossip round (Interval zero).
+func (g *Gossiper) Round(ctx context.Context) error { return g.engine.Round(ctx) }
+
+// Stop halts the loop and releases the peer clients. Idempotent.
+func (g *Gossiper) Stop() { g.engine.Stop() }
+
+// Stats snapshots the gossip counters.
+func (g *Gossiper) Stats() gossip.Stats { return g.engine.Stats() }
+
+// Seed reports the resolved selection seed (the logged value).
+func (g *Gossiper) Seed() int64 { return g.engine.Seed() }
+
+// noteRumor marks a key hot on the attached gossiper, if any: the next
+// rounds push its record eagerly instead of waiting for a fingerprint
+// mismatch. Called for fresh local verdicts, applied foreign records
+// (so an update keeps spreading epidemically) and audit repairs (so a
+// correction outruns the lie it replaces).
+func (s *Service) noteRumor(key identity.Hash) {
+	if g := s.gossiper.Load(); g != nil {
+		g.engine.AddRumor(key)
+	}
+}
+
+// rumorDelta packages the hot records as a signed delta bound to the
+// empty offer. Keys whose records were superseded or evicted since they
+// went hot are skipped silently.
+func (s *Service) rumorDelta(keys []identity.Hash) (*SyncDeltaResponse, error) {
+	recs, err := s.store.Records(keys)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	framed, err := store.EncodeRecords(recs)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SyncDeltaResponse{VerifierID: s.id, Count: len(recs), Records: framed}
+	if s.fed != nil && s.fed.key != nil {
+		empty := SyncOfferRequest{}
+		resp.Signer = s.fed.key.ID()
+		resp.Signature = s.fed.key.Sign(identity.SyncDeltaDigest(offerDigest(&empty), framed, resp.Signer))
+	}
+	return resp, nil
+}
+
+// gossipExchange is the ExchangeFunc the engine drives: one push-pull
+// exchange with one dialed peer.
+//
+//  1. "gossip":       fingerprint + rumors    → peer's fingerprint
+//  2. "gossip-pull":  my manifest             → signed delta + peer's manifest
+//  3. "gossip-push":  delta for peer's manifest → peer's applied count
+//
+// Step 1 alone settles the common case (a converged pair trades ~100
+// bytes); steps 2–3 run only on fingerprint mismatch or a backstop
+// round. Bytes are counted over message payloads, records over what the
+// two federation gates actually accepted.
+func (s *Service) gossipExchange(ctx context.Context, peer transport.Client, req gossip.Request) (gossip.Result, error) {
+	var res gossip.Result
+	if s.store == nil {
+		return res, ErrNoStore
+	}
+	sum, err := s.store.Summary()
+	if err != nil {
+		return res, err
+	}
+	greq := GossipRequest{VerifierID: s.id, Count: sum.Count, Digest: sum.Digest, Full: req.Full}
+	if len(req.Rumors) > 0 {
+		rumors, err := s.rumorDelta(req.Rumors)
+		if err != nil {
+			return res, err
+		}
+		greq.Rumors = rumors
+	}
+	msg, err := transport.NewMessage(MsgGossip, greq)
+	if err != nil {
+		return res, err
+	}
+	res.BytesSent += uint64(len(msg.Payload))
+	resp, err := peer.Call(ctx, msg)
+	if err != nil {
+		return res, fmt.Errorf("service: gossip open: %w", err)
+	}
+	if resp.Type != MsgGossipSummary {
+		return res, fmt.Errorf("service: peer answered gossip with %q, want %q", resp.Type, MsgGossipSummary)
+	}
+	var remote GossipSummaryResponse
+	if err := resp.Decode(&remote); err != nil {
+		return res, err
+	}
+	res.BytesReceived += uint64(len(resp.Payload))
+	res.Signer = remote.Signer // advisory until a verified delta flows
+	res.Sent += remote.Applied // rumors the peer's gate accepted
+	if !req.Full && remote.Count == sum.Count && remote.Digest == sum.Digest {
+		res.InSync = true
+		return res, nil
+	}
+
+	// Fingerprints disagree (or a backstop round): pull what the peer has
+	// that this store lacks...
+	offer, err := s.SyncOffer()
+	if err != nil {
+		return res, err
+	}
+	pull, err := transport.NewMessage(MsgGossipPull, offer)
+	if err != nil {
+		return res, err
+	}
+	res.BytesSent += uint64(len(pull.Payload))
+	resp, err = peer.Call(ctx, pull)
+	if err != nil {
+		return res, fmt.Errorf("service: gossip pull: %w", err)
+	}
+	if resp.Type != MsgGossipExchange {
+		return res, fmt.Errorf("service: peer answered gossip-pull with %q, want %q", resp.Type, MsgGossipExchange)
+	}
+	var ex GossipExchangeResponse
+	if err := resp.Decode(&ex); err != nil {
+		return res, err
+	}
+	res.BytesReceived += uint64(len(resp.Payload))
+	applied, err := s.IngestDelta(offer, ex.Delta)
+	res.Received += applied
+	if err != nil {
+		if errors.Is(err, ErrPeerQuarantined) {
+			// The signature verified before the quarantine refusal, so this
+			// identity is proven — exactly what peer selection needs to stop
+			// picking the peer.
+			res.Signer = ex.Delta.Signer
+		}
+		return res, err
+	}
+	if ex.Delta.Signer != "" {
+		res.Signer = ex.Delta.Signer // verified by the gate
+	}
+
+	// ...then push what this store has that the peer lacks.
+	push, err := s.ServeSyncOffer(ex.Have)
+	if err != nil {
+		return res, err
+	}
+	if push.Count == 0 {
+		return res, nil
+	}
+	pushMsg, err := transport.NewMessage(MsgGossipPush, GossipPushRequest{Offer: ex.Have, Delta: push})
+	if err != nil {
+		return res, err
+	}
+	res.BytesSent += uint64(len(pushMsg.Payload))
+	resp, err = peer.Call(ctx, pushMsg)
+	if err != nil {
+		return res, fmt.Errorf("service: gossip push: %w", err)
+	}
+	if resp.Type != MsgGossipSummary {
+		return res, fmt.Errorf("service: peer answered gossip-push with %q, want %q", resp.Type, MsgGossipSummary)
+	}
+	var pushed GossipSummaryResponse
+	if err := resp.Decode(&pushed); err != nil {
+		return res, err
+	}
+	res.BytesReceived += uint64(len(resp.Payload))
+	res.Sent += pushed.Applied
+	return res, nil
+}
+
+// gossipSummary answers the responder half of MsgGossip / MsgGossipPush:
+// the current fingerprint plus how many carried records were accepted.
+func (s *Service) gossipSummary(applied int) (GossipSummaryResponse, error) {
+	if s.store == nil {
+		return GossipSummaryResponse{}, ErrNoStore
+	}
+	sum, err := s.store.Summary()
+	if err != nil {
+		return GossipSummaryResponse{}, err
+	}
+	return GossipSummaryResponse{
+		VerifierID: s.id,
+		Signer:     s.origin,
+		Count:      sum.Count,
+		Digest:     sum.Digest,
+		Applied:    applied,
+	}, nil
+}

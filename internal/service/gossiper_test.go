@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rationality/internal/store"
+	"rationality/internal/transport"
+)
+
+// gossipPair wires two keyed, mutually allowlisted services over an
+// in-memory PipeNet and attaches a manually stepped Gossiper to each.
+type gossipPair struct {
+	net    *transport.PipeNet
+	sa, sb *Service
+	ga, gb *Gossiper
+}
+
+func newGossipPair(t *testing.T) *gossipPair {
+	t.Helper()
+	ka, kb := testKeyPair(t), testKeyPair(t)
+	p := &gossipPair{
+		net: transport.NewPipeNet(),
+		sa:  newKeyedService(t, "authority-a", ka, kb.ID()),
+		sb:  newKeyedService(t, "authority-b", kb, ka.ID()),
+	}
+	t.Cleanup(func() { _ = p.net.Close() })
+	if err := p.net.Listen("a", p.sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.net.Listen("b", p.sb); err != nil {
+		t.Fatal(err)
+	}
+	dial := func(addr string) (transport.Client, error) { return p.net.Dial(addr) }
+	var err error
+	p.ga, err = p.sa.StartGossiper(GossiperConfig{Peers: []string{"b"}, Fanout: 1, Seed: 1, Dial: dial, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.ga.Stop)
+	p.gb, err = p.sb.StartGossiper(GossiperConfig{Peers: []string{"a"}, Fanout: 1, Seed: 2, Dial: dial, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.gb.Stop)
+	return p
+}
+
+// verifyDistinct runs n verifications with payloads unique to prefix, so
+// two services seeded with different prefixes hold disjoint records.
+func verifyDistinct(t *testing.T, s *Service, prefix string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ann := announcementFor("inv", fmt.Sprintf(`{"%s":%d}`, prefix, i))
+		if _, err := s.VerifyAnnouncement(context.Background(), ann); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func manifestOfService(t *testing.T, s *Service) map[[32]byte]store.RecordInfo {
+	t.Helper()
+	m, err := s.store.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[[32]byte]store.RecordInfo, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// One push-pull exchange converges a divergent pair in both directions,
+// and a converged pair settles into cheap in-sync fingerprint probes.
+func TestGossipPairConvergesAndIdlesInSync(t *testing.T) {
+	p := newGossipPair(t)
+	verifyDistinct(t, p.sa, "a", 4)
+	verifyDistinct(t, p.sb, "b", 3)
+	ctx := context.Background()
+
+	if err := p.ga.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := manifestOfService(t, p.sa), manifestOfService(t, p.sb)
+	if len(ma) != 7 || !reflect.DeepEqual(ma, mb) {
+		t.Fatalf("one exchange did not converge the pair: %d vs %d keys", len(ma), len(mb))
+	}
+	st := p.ga.Stats()
+	if st.Exchanges != 1 {
+		t.Fatalf("exchange stats: %+v", st)
+	}
+	if st.RecordsReceived != 3 || st.RecordsSent != 4 {
+		t.Fatalf("records moved: sent=%d received=%d, want 4/3", st.RecordsSent, st.RecordsReceived)
+	}
+
+	// Converged: the next probe settles on fingerprints alone.
+	if err := p.gb.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.gb.Stats(); st.InSync != 1 {
+		t.Fatalf("converged probe was not in-sync: %+v", st)
+	}
+	// And the service Stats tree carries the gossip section.
+	if ss := p.sa.Stats(); ss.Gossip == nil || ss.Gossip.Exchanges == 0 {
+		t.Fatalf("Stats().Gossip missing: %+v", ss.Gossip)
+	}
+}
+
+// A fresh verdict rides the next exchange as a rumor: the receiving side
+// applies it inside the opening message and the fingerprints agree
+// without a manifest exchange — the round stays cheap AND spreads news.
+func TestGossipFreshVerdictTravelsAsRumor(t *testing.T) {
+	p := newGossipPair(t)
+	ctx := context.Background()
+	if err := p.ga.Round(ctx); err != nil { // converge the empty pair
+		t.Fatal(err)
+	}
+	verifyDistinct(t, p.sa, "fresh", 1)
+	if st := p.ga.Stats(); st.RumorsPending != 1 {
+		t.Fatalf("fresh verdict not rumored: %+v", st)
+	}
+	if err := p.ga.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := p.ga.Stats()
+	if st.InSync != 2 {
+		t.Fatalf("rumored round should settle in-sync, got %+v", st)
+	}
+	if st.RecordsSent != 1 {
+		t.Fatalf("rumor not counted as sent: %+v", st)
+	}
+	if ma, mb := manifestOfService(t, p.sa), manifestOfService(t, p.sb); !reflect.DeepEqual(ma, mb) {
+		t.Fatal("rumor did not replicate the fresh verdict")
+	}
+	// The receiving side re-rumors what it applied, spreading onward.
+	if st := p.gb.Stats(); st.RumorsPending == 0 {
+		t.Fatalf("receiver did not re-rumor the applied record: %+v", st)
+	}
+}
+
+// StartGossiper validates its preconditions: a store is required and at
+// most one gossiper may attach per service.
+func TestStartGossiperValidation(t *testing.T) {
+	bare := newTestService(t, Config{})
+	dial := func(string) (transport.Client, error) { return nil, fmt.Errorf("never dialed") }
+	if _, err := bare.StartGossiper(GossiperConfig{Peers: []string{"x"}, Dial: dial}); err != ErrNoStore {
+		t.Fatalf("gossiper without a store: %v", err)
+	}
+	p := newGossipPair(t)
+	if _, err := p.sa.StartGossiper(GossiperConfig{Peers: []string{"b"}, Dial: dial}); err == nil {
+		t.Fatal("second gossiper must be refused")
+	}
+}

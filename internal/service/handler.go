@@ -165,6 +165,57 @@ func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.
 			return transport.Message{}, err
 		}
 		return transport.NewMessage(MsgSyncDelta, delta)
+	case MsgGossip:
+		var gr GossipRequest
+		if err := req.Decode(&gr); err != nil {
+			return transport.Message{}, err
+		}
+		applied := 0
+		if gr.Rumors != nil {
+			// Rumor pushes are signed against the empty offer (there is no
+			// solicited one); the gate still enforces allowlist, signature
+			// and quarantine, so a refused initiator fails here loudly.
+			n, err := s.IngestDelta(SyncOfferRequest{}, *gr.Rumors)
+			if err != nil {
+				return transport.Message{}, err
+			}
+			applied = n
+		}
+		summary, err := s.gossipSummary(applied)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgGossipSummary, summary)
+	case MsgGossipPull:
+		var offer SyncOfferRequest
+		if err := req.Decode(&offer); err != nil {
+			return transport.Message{}, err
+		}
+		delta, err := s.ServeSyncOffer(offer)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		have, err := s.SyncOffer()
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgGossipExchange, GossipExchangeResponse{
+			VerifierID: s.id, Delta: delta, Have: have,
+		})
+	case MsgGossipPush:
+		var pr GossipPushRequest
+		if err := req.Decode(&pr); err != nil {
+			return transport.Message{}, err
+		}
+		applied, err := s.IngestDelta(pr.Offer, pr.Delta)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		summary, err := s.gossipSummary(applied)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgGossipSummary, summary)
 	default:
 		return transport.Message{}, fmt.Errorf("service: cannot handle %q", req.Type)
 	}

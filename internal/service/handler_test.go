@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"testing"
-	"time"
 
 	"rationality/internal/core"
 	"rationality/internal/game"
@@ -54,15 +53,19 @@ func TestHandlerVerifyAndFormats(t *testing.T) {
 	}
 }
 
-func TestHandlerBatchAndStatsOverTCP(t *testing.T) {
+// TestHandlerBatchAndStatsOverWire exercises the full stream codec path —
+// framing, request/response pairing, error envelopes — over an in-memory
+// PipeNet, which speaks the exact byte protocol of the TCP transport
+// without binding a real port.
+func TestHandlerBatchAndStatsOverWire(t *testing.T) {
 	rep := reputation.NewRegistry()
 	s := newTestService(t, Config{ID: "svc-tcp", Reputation: rep})
-	srv, err := transport.ListenTCP("127.0.0.1:0", s)
-	if err != nil {
+	net := transport.NewPipeNet()
+	defer net.Close()
+	if err := net.Listen("svc", s); err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
-	client, err := transport.DialTCP(srv.Addr(), time.Second)
+	client, err := net.Dial("svc")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rationality/internal/gossip"
 	"rationality/internal/store"
 )
 
@@ -219,6 +220,11 @@ type Stats struct {
 	// state, consecutive failures, remaining backoff — when a Syncer is
 	// attached; nil otherwise.
 	SyncPeers []SyncPeerStats `json:"syncPeers,omitempty"`
+	// Gossip reports the epidemic push-pull loop — rounds, exchanges,
+	// in-sync probes, records and bytes moved, the pending rumor board
+	// and per-peer exchange history — when a Gossiper is attached; nil
+	// otherwise.
+	Gossip *gossip.Stats `json:"gossip,omitempty"`
 }
 
 // snapshot assembles a Stats value from the live counters. Counters are

@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rationality/internal/core"
 	"rationality/internal/identity"
@@ -117,6 +118,11 @@ type Config struct {
 	// charged through Trust. Zero disables auditing; a positive rate
 	// requires PersistPath (the audit re-runs what the log ingested).
 	AuditRate float64
+	// Seed seeds the service's internal randomness — today the audit
+	// sampler. Zero draws from the clock; setting it makes a run's
+	// sampling decisions reproducible (the sync and gossip loops take
+	// their own seeds in SyncerConfig / GossiperConfig).
+	Seed int64
 }
 
 // Service is a concurrent, cached verification authority. It is safe for
@@ -142,14 +148,20 @@ type Service struct {
 
 	// audits feeds the background auditor: records sampled at ingest at
 	// Config.AuditRate. The send is non-blocking — a saturated auditor
-	// sheds samples rather than stalling anti-entropy.
+	// sheds samples rather than stalling anti-entropy. The sampler draws
+	// from the service's own seeded source (Config.Seed), never the
+	// global math/rand state, so seeded runs replay their decisions.
 	auditRate float64
 	audits    chan store.Record
 	auditWG   sync.WaitGroup
+	rngMu     sync.Mutex
+	rng       *rand.Rand
 
 	// syncer, when set, is the resilient pull loop whose per-peer state
-	// Stats() reports alongside the federation counters.
-	syncer atomic.Pointer[Syncer]
+	// Stats() reports alongside the federation counters; gossiper, when
+	// set, is the epidemic push-pull loop reported as Stats().Gossip.
+	syncer   atomic.Pointer[Syncer]
+	gossiper atomic.Pointer[Gossiper]
 
 	// store, when non-nil, is the durable verdict log. Fresh verdicts
 	// are handed to it with one non-blocking channel send right after
@@ -236,6 +248,11 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: AuditRate requires PersistPath: the auditor re-verifies ingested records from the durable log")
 	}
 	s.auditRate = cfg.AuditRate
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s.rng = rand.New(rand.NewSource(seed))
 	if cfg.PersistPath != "" {
 		if cfg.CacheSize < 0 {
 			// Persistence exists to warm-start the cache; with caching
@@ -388,6 +405,10 @@ func (s *Service) Stats() Stats {
 	}
 	if y := s.syncer.Load(); y != nil {
 		st.SyncPeers = y.Snapshot()
+	}
+	if g := s.gossiper.Load(); g != nil {
+		gs := g.Stats()
+		st.Gossip = &gs
 	}
 	return st
 }
@@ -634,6 +655,10 @@ func (s *Service) executeInline(key identity.Hash, format string, gameSpec, advi
 				Format: format, Game: gameSpec, Advice: advice, Proof: proofBody,
 			})
 			s.store.Append(key, *v, req)
+			// A fresh verdict is exactly what rumor-mongering exists for:
+			// push it through the next gossip exchanges instead of waiting
+			// for a fingerprint mismatch to surface it.
+			s.noteRumor(key)
 		}
 	}
 	return v, err
@@ -693,8 +718,13 @@ func (s *Service) maybeAudit(r *store.Record) {
 	if s.audits == nil || r.Origin == "" || r.Origin == s.origin || len(r.Request) == 0 {
 		return
 	}
-	if s.auditRate < 1 && rand.Float64() >= s.auditRate {
-		return
+	if s.auditRate < 1 {
+		s.rngMu.Lock()
+		skip := s.rng.Float64() >= s.auditRate
+		s.rngMu.Unlock()
+		if skip {
+			return
+		}
 	}
 	select {
 	case s.audits <- *r:
@@ -745,6 +775,9 @@ func (s *Service) auditRecord(r *store.Record) {
 	s.cache.Put(r.Key, *v)
 	if s.store != nil {
 		s.store.Append(r.Key, *v, r.Request)
+		// Rumor the repair so the correction races ahead of the lie it
+		// replaces on the gossip paths that spread it.
+		s.noteRumor(r.Key)
 	}
 	s.metrics.auditRefutations.Add(1)
 }

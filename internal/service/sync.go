@@ -257,6 +257,11 @@ func (s *Service) Ingest(recs []store.Record) (int, error) {
 	for i := range applied {
 		s.cache.PutCold(applied[i].Key, applied[i].Verdict)
 		s.maybeAudit(&applied[i])
+		// An applied foreign record is news to this authority's own gossip
+		// partners too: re-rumoring it is what makes spread epidemic
+		// (peers that already hold the copy apply nothing and the rumor
+		// dies out on its TTL).
+		s.noteRumor(applied[i].Key)
 	}
 	s.metrics.ingested.Add(uint64(len(applied)))
 	for i := range refuted {

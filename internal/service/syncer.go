@@ -193,6 +193,9 @@ func (s *Service) StartSyncer(cfg SyncerConfig) (*Syncer, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	// Logged so any run — including a clock-seeded one — can be replayed
+	// by setting SyncerConfig.Seed to the printed value.
+	cfg.Logf("anti-entropy: jitter seed=%d", seed)
 	ctx, cancel := context.WithCancel(context.Background())
 	y := &Syncer{
 		svc:    s,

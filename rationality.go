@@ -38,6 +38,7 @@ import (
 	"rationality/internal/congestion"
 	"rationality/internal/core"
 	"rationality/internal/game"
+	"rationality/internal/gossip"
 	"rationality/internal/identity"
 	"rationality/internal/interactive"
 	"rationality/internal/links"
@@ -336,6 +337,67 @@ func NewTrustPolicy(cfg TrustConfig) (*TrustPolicy, error) { return trust.New(cf
 // Chaos wraps a client with seeded fault injection; with a zero
 // ChaosConfig it is a transparent pass-through.
 func Chaos(inner Client, cfg ChaosConfig) *ChaosClient { return transport.Chaos(inner, cfg) }
+
+// Epidemic gossip (see internal/gossip and the service layer's Gossiper):
+// the federation-scale replacement for the all-pairs sync loop. Each round
+// an authority exchanges store fingerprints, rumor records and signed
+// deltas with a small random fan-out of peers, so an update reaches every
+// authority in O(log n) rounds while a converged federation idles on cheap
+// fingerprint probes. Every record still enters through the signed
+// federation gate — allowlist, signatures, quarantine, auditing.
+type (
+	// Gossiper is a service's epidemic push-pull gossip loop. Build with
+	// VerificationService.StartGossiper; step manually with Round when
+	// GossiperConfig.Interval is zero.
+	Gossiper = service.Gossiper
+	// GossiperConfig configures StartGossiper: peers, fanout, round
+	// cadence, rumor TTL, anti-entropy backstop cadence, seed and dialer.
+	GossiperConfig = service.GossiperConfig
+	// GossipStats is the gossip section of ServiceStats: round, exchange
+	// and in-sync counters, records and bytes by direction, the rumor
+	// board population, the resolved seed and the per-peer view.
+	GossipStats = gossip.Stats
+	// GossipPeerStats is one gossip partner's history: exchanges,
+	// failures, records moved and quarantine-skip count.
+	GossipPeerStats = gossip.PeerStats
+	// GossipRequest opens a push-pull exchange on the wire: the
+	// initiator's store fingerprint plus optional rumor records.
+	GossipRequest = service.GossipRequest
+	// GossipSummaryResponse answers a gossip open or push with the
+	// responder's fingerprint and how many carried records it accepted.
+	GossipSummaryResponse = service.GossipSummaryResponse
+	// GossipExchangeResponse answers a gossip-pull: the signed delta for
+	// the initiator's manifest plus the responder's own manifest.
+	GossipExchangeResponse = service.GossipExchangeResponse
+	// GossipPushRequest completes an exchange: the responder's echoed
+	// manifest and the signed delta answering it.
+	GossipPushRequest = service.GossipPushRequest
+	// PipeNet is an in-memory transport: listeners and dialers speaking
+	// the exact stream protocol of the TCP transport over net.Pipe pairs,
+	// with a bytes-on-wire counter — multi-authority tests without ports.
+	PipeNet = transport.PipeNet
+	// PipeClient is a client dialed from a PipeNet; it reconnects lazily
+	// after transport errors like the TCP client.
+	PipeClient = transport.PipeClient
+)
+
+// Gossip wire message types (the push-pull exchange protocol).
+const (
+	// MsgGossip opens an exchange with a fingerprint and optional rumors.
+	MsgGossip = service.MsgGossip
+	// MsgGossipSummary answers MsgGossip and MsgGossipPush.
+	MsgGossipSummary = service.MsgGossipSummary
+	// MsgGossipPull asks for reconciliation with the initiator's manifest.
+	MsgGossipPull = service.MsgGossipPull
+	// MsgGossipExchange is the reply type to a gossip-pull.
+	MsgGossipExchange = service.MsgGossipExchange
+	// MsgGossipPush completes the exchange with the initiator's delta.
+	MsgGossipPush = service.MsgGossipPush
+)
+
+// NewPipeNet builds an empty in-memory network; register handlers with
+// Listen and open clients with Dial.
+func NewPipeNet() *PipeNet { return transport.NewPipeNet() }
 
 // LoadKeyFile reads a signing identity saved by SaveKeyFile (hex Ed25519
 // seed, one line, mode 0600). A malformed file is an error, never a
