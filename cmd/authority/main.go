@@ -114,6 +114,8 @@ func main() {
 		err = runBatch(os.Args[2:])
 	case "quorum":
 		err = runQuorum(os.Args[2:])
+	case "cert":
+		err = runCert(os.Args[2:])
 	case "keygen":
 		err = runKeygen(os.Args[2:])
 	case "stats":
@@ -135,12 +137,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|keygen|stats|provenance> [flags]
+	fmt.Fprintln(os.Stderr, `usage: authority <inventor|verifier|agent|batch|quorum|cert|keygen|stats|provenance> [flags]
 
   authority inventor -game <pd|mp|auction|pd-forged> -listen <addr> [-id <name>]
   authority verifier -id <name> -listen <addr> [-workers n] [-cache-size n] [-cache-shards n]
                      [-persist dir] [-sync-every n] [-peers addr,addr,...] [-sync-interval d] [-sync-timeout d]
                      [-sync-backoff-max d] [-sync-jitter x] [-key file] [-peer-keys hexkey,hexkey,...]
+                     [-panel-keys hexkey,hexkey,...] [-cert-threshold n]
                      [-audit-rate x] [-quarantine-threshold x] [-probation d] [-admin addr]
                      [-gossip] [-fanout n] [-rumor-ttl n]
   authority keygen -key <file>                (create or load a signing identity; print its party ID)
@@ -148,6 +151,10 @@ func usage() {
   authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
   authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
                    [-call-timeout d] [-threshold x] [-conns n]
+  authority cert issue -verifiers <id=addr,...> -keyset <hexkey,...> [-game <name>] [-threshold n]
+                       [-out file] [-store addr]   (co-sign one verdict into a quorum certificate)
+  authority cert verify (-cert file | -verifier <addr> -key <hex>) -keyset <hexkey,...> [-threshold n]
+  authority cert show (-cert file | -verifier <addr> -key <hex>) [-keyset <hexkey,...>]
   authority stats -verifier <addr> [-conns n] [-watch d]
   authority provenance -verifier <addr> [-conns n]   (whose word the authority is serving, one line per peer)
   authority p2-prover -listen <addr>          (serve the §4 private proof for Matching Pennies)
@@ -253,6 +260,10 @@ func runVerifier(args []string) error {
 		"Ed25519 signing-identity keyfile; auto-generated at <persist>/identity.key when -persist is set and this is empty")
 	peerKeysFlag := fs.String("peer-keys", "",
 		"comma-separated hex public keys forming the federation allowlist: pulled sync-deltas must be signed by one of them (requires -persist; empty accepts any peer)")
+	panelKeysFlag := fs.String("panel-keys", "",
+		"ordered comma-separated hex public keys of the certificate panel: submitted or replicated quorum certificates must verify against this keyset (order is the bitmap index space, so every party must use the same list; empty stores certificates unverified)")
+	certThreshold := fs.Int("cert-threshold", 0,
+		"minimum co-signatures a certificate needs to be accepted (0 = supermajority of -panel-keys)")
 	admin := fs.String("admin", "",
 		"admin listen address for /metrics, /healthz, /readyz and /debug/pprof (empty disables the operator plane; keep it off the service port)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
@@ -305,6 +316,17 @@ func runVerifier(args []string) error {
 	peerKeys, err := parsePeerKeys(*peerKeysFlag)
 	if err != nil {
 		return err
+	}
+	var panelKeys []identity.PartyID
+	for _, raw := range splitNonEmpty(*panelKeysFlag) {
+		pk, err := identity.ParsePartyID(raw)
+		if err != nil {
+			return fmt.Errorf("-panel-keys: %w", err)
+		}
+		panelKeys = append(panelKeys, pk)
+	}
+	if *certThreshold != 0 && len(panelKeys) == 0 {
+		return fmt.Errorf("-cert-threshold requires -panel-keys: the threshold counts co-signatures against the panel keyset")
 	}
 	if len(peerKeys) > 0 && *persist == "" {
 		// The allowlist gates what anti-entropy may ingest into the
@@ -448,18 +470,20 @@ func runVerifier(args []string) error {
 		procs = byzantineProcedures()
 	}
 	svc, err := service.New(service.Config{
-		ID:          *id,
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		CacheShards: *cacheShards,
-		Reputation:  registry,
-		Procedures:  procs,
-		PersistPath: *persist,
-		SyncEvery:   *syncEvery,
-		Key:         key,
-		PeerKeys:    peerKeys,
-		Trust:       pol,
-		AuditRate:   *auditRate,
+		ID:            *id,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		CacheShards:   *cacheShards,
+		Reputation:    registry,
+		Procedures:    procs,
+		PersistPath:   *persist,
+		SyncEvery:     *syncEvery,
+		Key:           key,
+		PeerKeys:      peerKeys,
+		PanelKeys:     panelKeys,
+		CertThreshold: *certThreshold,
+		Trust:         pol,
+		AuditRate:     *auditRate,
 	})
 	if err != nil {
 		return err
@@ -490,6 +514,14 @@ func runVerifier(args []string) error {
 	}
 	if len(peerKeys) > 0 {
 		fmt.Printf("federation: allowlisting %d peer keys; unsigned or unknown-signer deltas will be rejected\n", len(peerKeys))
+	}
+	if len(panelKeys) > 0 {
+		thr := *certThreshold
+		if thr == 0 {
+			thr = core.SupermajorityThreshold(len(panelKeys))
+		}
+		fmt.Printf("certificates: verifying against a %d-member panel keyset (threshold %d)\n",
+			len(panelKeys), thr)
 	}
 	if pol != nil {
 		fmt.Printf("trust: quarantine below reputation %.2f, probation %s (state %s)\n",

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rationality/internal/identity"
+)
+
+// testPanel generates n signing identities and the ordered keyset a
+// certificate over them is verified against.
+func testPanel(t *testing.T, n int) ([]*identity.KeyPair, []identity.PartyID) {
+	t.Helper()
+	keys := make([]*identity.KeyPair, n)
+	ids := make([]identity.PartyID, n)
+	for i := range keys {
+		k, err := identity.NewKeyPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i], ids[i] = k, k.ID()
+	}
+	return keys, ids
+}
+
+// signCertificate builds a certificate co-signed by the given members of
+// the panel (indexes into keys/keyset).
+func signCertificate(t *testing.T, keys []*identity.KeyPair, keysetLen int, members []int, v Verdict) *Certificate {
+	t.Helper()
+	c := &Certificate{
+		Key:     identity.DigestBytes([]byte("request")).String(),
+		Verdict: v,
+		Panel:   make([]byte, (keysetLen+7)/8),
+	}
+	digest, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range members {
+		c.Panel[i/8] |= 1 << (i % 8)
+		c.Sigs = append(c.Sigs, keys[i].Sign(digest))
+	}
+	return c
+}
+
+func TestCertificateVerify(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	v := Verdict{Accepted: true, Format: FormatEnumeration}
+	c := signCertificate(t, keys, len(keyset), []int{0, 1, 2}, v)
+	if err := c.Verify(keyset, 0); err != nil {
+		t.Fatalf("full-panel certificate rejected: %v", err)
+	}
+	// 2 of 3 misses the ⌊2n/3⌋+1 = 3 supermajority default...
+	c2 := signCertificate(t, keys, len(keyset), []int{0, 2}, v)
+	if err := c2.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("2-of-3 passed the supermajority default: %v", err)
+	}
+	// ...but an operator may relax the threshold explicitly.
+	if err := c2.Verify(keyset, 2); err != nil {
+		t.Fatalf("2-of-3 rejected under an explicit threshold of 2: %v", err)
+	}
+}
+
+func TestCertificateRejectsTamperedVerdict(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	c := signCertificate(t, keys, len(keyset), []int{0, 1, 2}, Verdict{Accepted: true, Format: FormatEnumeration})
+	c.Verdict.Accepted = false // the CI smoke's "flipped verdict byte"
+	err := c.Verify(keyset, 0)
+	if !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("tampered verdict verified: %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "certificate rejected:") {
+		t.Fatalf("rejection missing the documented prefix: %v", err)
+	}
+}
+
+func TestCertificateRejectsForgedBitmap(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	v := Verdict{Accepted: true, Format: FormatEnumeration}
+
+	// A bit beyond the keyset: claims a 4th member of a 3-member panel.
+	c := signCertificate(t, keys, len(keyset), []int{0, 1, 2}, v)
+	c.Panel[0] |= 1 << 3
+	if err := c.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("stray panel bit verified: %v", err)
+	}
+
+	// More named co-signers than attached signatures.
+	c = signCertificate(t, keys, len(keyset), []int{0, 1}, v)
+	c.Panel[0] |= 1 << 2
+	if err := c.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("bitmap/signature count mismatch verified: %v", err)
+	}
+
+	// A wrong-length bitmap never indexes the keyset at all.
+	c = signCertificate(t, keys, len(keyset), []int{0, 1, 2}, v)
+	c.Panel = append(c.Panel, 0)
+	if err := c.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("oversized bitmap verified: %v", err)
+	}
+}
+
+func TestCertificateRejectsBelowThreshold(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	c := signCertificate(t, keys, len(keyset), []int{1}, Verdict{Accepted: true, Format: FormatEnumeration})
+	err := c.Verify(keyset, 0)
+	if !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("1-of-3 certificate verified: %v", err)
+	}
+	if !strings.Contains(err.Error(), "threshold") {
+		t.Fatalf("below-threshold rejection should name the threshold: %v", err)
+	}
+}
+
+func TestCertificateRejectsWrongDigestSignature(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	c := signCertificate(t, keys, len(keyset), []int{0, 1, 2}, Verdict{Accepted: true, Format: FormatEnumeration})
+	// Member 1 signed something else entirely: a valid key, wrong digest.
+	c.Sigs[1] = keys[1].Sign([]byte("not the certificate digest"))
+	if err := c.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("wrong-digest co-signature verified: %v", err)
+	}
+}
+
+func TestCertificateRejectsSignerOutsideKeyset(t *testing.T) {
+	keys, keyset := testPanel(t, 3)
+	stranger, _ := testPanel(t, 1)
+	c := signCertificate(t, keys, len(keyset), []int{0, 1}, Verdict{Accepted: true, Format: FormatEnumeration})
+	// Claim member 2's slot but sign with a key outside the panel.
+	c.Panel[0] |= 1 << 2
+	digest, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sigs = append(c.Sigs, stranger[0].Sign(digest))
+	if err := c.Verify(keyset, 0); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("outside-keyset co-signature verified: %v", err)
+	}
+}
+
+func TestCertificateEncodeDecodeRoundTrip(t *testing.T) {
+	keys, keyset := testPanel(t, 5)
+	c := signCertificate(t, keys, len(keyset), []int{0, 2, 3, 4}, Verdict{Accepted: true, Format: FormatP1})
+	data, err := EncodeCertificate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(keyset, 0); err != nil {
+		t.Fatalf("round-tripped certificate rejected: %v", err)
+	}
+	signers, err := back.CoSigners(keyset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signers) != 4 || signers[0] != keyset[0] || signers[3] != keyset[4] {
+		t.Fatalf("co-signers out of order: %v", signers)
+	}
+	// nil and empty round-trip to "no certificate", never an error.
+	if data, err := EncodeCertificate(nil); err != nil || data != nil {
+		t.Fatalf("nil certificate encoded to %q, %v", data, err)
+	}
+	if back, err := DecodeCertificate(nil); err != nil || back != nil {
+		t.Fatalf("empty column decoded to %v, %v", back, err)
+	}
+	if _, err := DecodeCertificate([]byte("{not json")); !errors.Is(err, ErrCertificateRejected) {
+		t.Fatalf("malformed encoding decoded: %v", err)
+	}
+}
+
+func TestSupermajorityThreshold(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {6, 5}, {7, 5}, {9, 7}, {10, 7},
+	} {
+		if got := SupermajorityThreshold(tc.n); got != tc.want {
+			t.Errorf("SupermajorityThreshold(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

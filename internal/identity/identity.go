@@ -137,6 +137,19 @@ func (h Hash) String() string { return hex.EncodeToString(h[:]) }
 // power-of-two shard array evenly.
 func (h Hash) Prefix64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
 
+// ParseHash decodes the canonical hex encoding produced by Hash.String
+// back into a Hash, rejecting strings of the wrong length or alphabet.
+func ParseHash(s string) (Hash, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Hash{}, fmt.Errorf("identity: hash %q is not hex: %w", s, err)
+	}
+	if len(raw) != len(Hash{}) {
+		return Hash{}, fmt.Errorf("identity: hash %q decodes to %d bytes, want %d", s, len(raw), len(Hash{}))
+	}
+	return Hash(raw), nil
+}
+
 // Envelope is a signed payload: the binding a reputation report can carry as
 // evidence.
 type Envelope struct {

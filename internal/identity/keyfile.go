@@ -172,3 +172,20 @@ func SyncDeltaDigest(offerDigest Hash, records []byte, responder PartyID) []byte
 	h := DigestBytes([]byte(syncDeltaDomain), offerDigest[:], records, []byte(responder))
 	return h[:]
 }
+
+// certificateDomain separates quorum-certificate co-signatures from every
+// other message an authority key signs: a co-signature captured from a
+// certificate can never be replayed as a sync-delta, an envelope, or an
+// announcement signature, and vice versa.
+const certificateDomain = "rationality/certificate/v1"
+
+// CertificateDigest is the canonical byte string each panel member
+// co-signs into an aggregate quorum certificate: the domain tag, the
+// request's content-address key, and the canonical JSON encoding of the
+// certified verdict. Every member signs the identical byte string, so a
+// client can check all co-signatures against one digest computed from the
+// certificate alone — no live panel, no per-member round-trips.
+func CertificateDigest(key Hash, verdictJSON []byte) []byte {
+	h := DigestBytes([]byte(certificateDomain), key[:], verdictJSON)
+	return h[:]
+}

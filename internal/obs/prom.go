@@ -158,6 +158,13 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 	p.counter("rationality_audit_refutations_total", "Audits that refuted the vouched verdict: proven lies, charged and repaired.", st.AuditRefutations)
 	p.counter("rationality_audits_shed_total", "Audit samples dropped because the audit queue was full (lost coverage, never correctness).", st.AuditsShed)
 
+	// Quorum-certificate counters: the CoSi-style collective-signing
+	// pipeline, from a panel member's co-signatures out to offline serving.
+	p.counter("rationality_certificates_cosigned_total", "Co-signatures this authority issued over its own verdicts (cosign requests answered).", st.CertsCosigned)
+	p.counter("rationality_certificates_stored_total", "Quorum certificates accepted into the durable log, locally submitted or carried in by anti-entropy.", st.CertsStored)
+	p.counter("rationality_certificates_served_total", "Stored certificates handed to clients for offline verification.", st.CertsServed)
+	p.counter("rationality_certificates_rejected_total", "Certificates refused because they failed offline verification against the panel keyset.", st.CertsRejected)
+
 	writeLatencyHistogram(&p, st.Latency)
 
 	if ps := st.Persistence; ps != nil {

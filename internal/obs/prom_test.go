@@ -56,6 +56,10 @@ func fixtureStats() service.Stats {
 		Audits:            10,
 		AuditRefutations:  3,
 		AuditsShed:        1,
+		CertsCosigned:     6,
+		CertsStored:       5,
+		CertsServed:       13,
+		CertsRejected:     2,
 		Accepted:          100,
 		Rejected:          18,
 		Failures:          2,

@@ -38,6 +38,10 @@ func WriteText(w io.Writer, st service.Stats) {
 		fmt.Fprintf(w, "accountability: audits=%d auditRefutations=%d auditsShed=%d ingestRefutations=%d\n",
 			st.Audits, st.AuditRefutations, st.AuditsShed, st.IngestRefutations)
 	}
+	if st.CertsCosigned > 0 || st.CertsStored > 0 || st.CertsServed > 0 || st.CertsRejected > 0 {
+		fmt.Fprintf(w, "certificates: cosigned=%d stored=%d served=%d rejected=%d\n",
+			st.CertsCosigned, st.CertsStored, st.CertsServed, st.CertsRejected)
+	}
 	if f := st.Federation; f != nil {
 		fmt.Fprintf(w, "federation: signer=%s trustedPeers=%d rejectedUnsigned=%d rejectedUnknown=%d rejectedBadSig=%d rejectedCorrupt=%d\n",
 			f.Signer, f.TrustedPeers, f.RejectedUnsigned, f.RejectedUnknown, f.RejectedBadSig, f.RejectedCorrupt)

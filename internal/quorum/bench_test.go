@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rationality/internal/core"
+	"rationality/internal/identity"
 	"rationality/internal/reputation"
 	"rationality/internal/service"
 	"rationality/internal/transport"
@@ -48,6 +49,51 @@ func BenchmarkQuorumVerify(b *testing.B) {
 				}
 				if !res.Accepted {
 					b.Fatal("quorum rejected the honest benchmark proof")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertificateVerify is the offline client's hot path: checking
+// an assembled quorum certificate against the known panel keyset — one
+// digest plus one Ed25519 verification per co-signature, no network, no
+// live panel. The certificate is assembled once outside the timed loop.
+func BenchmarkCertificateVerify(b *testing.B) {
+	for _, members := range []int{3, 5} {
+		b.Run(fmt.Sprintf("panel=%d", members), func(b *testing.B) {
+			keyset := make([]identity.PartyID, members)
+			panel := make([]Member, members)
+			for i := range panel {
+				key, err := identity.NewKeyPair()
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc, err := service.New(service.Config{
+					ID: fmt.Sprintf("v%d", i), PersistPath: b.TempDir(), Key: key,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				keyset[i] = key.ID()
+				panel[i] = Member{ID: fmt.Sprintf("v%d", i), Client: transport.DialInProc(svc)}
+			}
+			certifier, err := NewCertifier(CertifierConfig{Members: panel, Keyset: keyset})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ann := pdAnnouncement(b)
+			req := core.VerifyRequest{Format: ann.Format, Game: ann.Game, Advice: ann.Advice, Proof: ann.Proof}
+			cert, err := certifier.Certify(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cert.Verify(keyset, 0); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

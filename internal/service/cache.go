@@ -77,6 +77,13 @@ type cacheEntry struct {
 	// inside a fresh entry and never mutates it, so Get may alias it
 	// lock-free and defer the caller-facing copy to the caller's stack.
 	verdict core.Verdict
+	// cert is the encoded quorum certificate over this verdict (empty for
+	// uncertified entries). Like verdict it is immutable once the entry is
+	// published: installs copy the bytes into a fresh entry, and a plain
+	// Put that replaces a certified entry carries the certificate forward
+	// into its replacement — re-verifying an announcement must not make
+	// the authority forget the panel's co-signatures over it.
+	cert []byte
 	// stamp is the recency ticket: larger = more recently used.
 	stamp atomic.Uint64
 }
@@ -138,7 +145,7 @@ func (c *verdictCache) Get(key identity.Hash) (*core.Verdict, bool) {
 // when the stripe is full. The deep copy is taken before the lock; the
 // shard lock covers only the map insert and any eviction scan.
 func (c *verdictCache) Put(key identity.Hash, v core.Verdict) {
-	c.put(key, v, false)
+	c.put(key, v, nil, false)
 }
 
 // PutCold stores a verdict at the oldest possible recency instead of the
@@ -147,14 +154,44 @@ func (c *verdictCache) Put(key identity.Hash, v core.Verdict) {
 // capacity without displacing the shard's live working set. A later Get
 // promotes a cold entry to normal recency like any other hit.
 func (c *verdictCache) PutCold(key identity.Hash, v core.Verdict) {
-	c.put(key, v, true)
+	c.put(key, v, nil, true)
 }
 
-func (c *verdictCache) put(key identity.Hash, v core.Verdict, cold bool) {
+// PutCertified stores a verdict together with its encoded quorum
+// certificate, at cold or normal recency. The certificate bytes are
+// copied into the entry, so the caller's slice stays its own.
+func (c *verdictCache) PutCertified(key identity.Hash, v core.Verdict, cert []byte, cold bool) {
+	c.put(key, v, cert, cold)
+}
+
+// Cert returns a copy of the cached certificate for a key, if the key is
+// cached with one. Lock-free, and counts as a recency touch like Get —
+// serving a certificate is exactly the hot-path hit the cache exists for.
+func (c *verdictCache) Cert(key identity.Hash) ([]byte, bool) {
+	if len(c.shards) == 0 {
+		return nil, false
+	}
+	sh := c.shardFor(key)
+	v, ok := sh.entries.Load(key)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*cacheEntry)
+	if len(e.cert) == 0 {
+		return nil, false
+	}
+	e.stamp.Store(sh.clock.Add(1))
+	return append([]byte(nil), e.cert...), true
+}
+
+func (c *verdictCache) put(key identity.Hash, v core.Verdict, cert []byte, cold bool) {
 	if len(c.shards) == 0 {
 		return
 	}
 	e := &cacheEntry{verdict: v.Clone()}
+	if len(cert) > 0 {
+		e.cert = append([]byte(nil), cert...)
+	}
 	sh := c.shardFor(key)
 	if !cold {
 		// A cold entry keeps stamp 0 — below every ticket the shard's
@@ -163,6 +200,16 @@ func (c *verdictCache) put(key identity.Hash, v core.Verdict, cold bool) {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if e.cert == nil {
+		// A plain Put over a certified entry keeps the certificate: the
+		// verdict it covers is content-addressed by the same key, so the
+		// co-signatures still apply. The entry is unpublished here, so the
+		// write races nothing; the shard lock orders it against other
+		// installs for the key.
+		if old, ok := sh.entries.Load(key); ok {
+			e.cert = old.(*cacheEntry).cert
+		}
+	}
 	if _, existed := sh.entries.Swap(key, e); existed {
 		return // refreshed in place; size unchanged
 	}

@@ -28,7 +28,76 @@ const (
 	// "provenance" with ProvenanceResponse — whose word this authority is
 	// serving, one line per vouching peer with its trust standing.
 	MsgProvenance = "provenance"
+	// MsgCoSign: certificate coordinator → panel member. Payload
+	// CoSignRequest (one verify request); the member verifies it through
+	// its normal cached path and replies "cosigned" with CoSignResponse —
+	// its verdict plus an Ed25519 signature over the canonical certificate
+	// digest. Requires a signing key (Config.Key).
+	MsgCoSign = "cosign"
+	// MsgCoSigned is the reply type to a cosign.
+	MsgCoSigned = "cosigned"
+	// MsgCertPut: coordinator → authority. Payload CertPutRequest (an
+	// assembled core.Certificate); the authority verifies it offline
+	// against its panel keyset (when configured), persists it as a
+	// certified record, and replies "cert-receipt" with CertPutResponse.
+	MsgCertPut = "cert-put"
+	// MsgCertReceipt is the reply type to a cert-put.
+	MsgCertReceipt = "cert-receipt"
+	// MsgCertGet: client → authority. Payload CertGetRequest (the hex
+	// verdict key); reply "certificate" with CertGetResponse — the one
+	// request an offline client needs before checking the certificate's
+	// co-signatures against the known panel keyset locally.
+	MsgCertGet = "cert-get"
+	// MsgCertificate is the reply type to a cert-get.
+	MsgCertificate = "certificate"
 )
+
+// CoSignRequest asks a panel member to verify one request and co-sign the
+// resulting verdict's certificate digest.
+type CoSignRequest struct {
+	Request core.VerifyRequest `json:"request"`
+}
+
+// CoSignResponse is one panel member's co-signature: its verdict on the
+// request, the content-addressed verdict key, and an Ed25519 signature by
+// Signer over identity.CertificateDigest(key, canonical verdict JSON).
+type CoSignResponse struct {
+	VerifierID string `json:"verifierId"`
+	// Signer is the member's signing identity — the party ID the
+	// coordinator maps into the panel keyset bitmap.
+	Signer identity.PartyID `json:"signer"`
+	// Key is the hex content address of the verdict being certified.
+	Key string `json:"key"`
+	// Verdict is the member's own verdict on the request.
+	Verdict core.Verdict `json:"verdict"`
+	// Signature is the member's Ed25519 co-signature.
+	Signature []byte `json:"signature"`
+}
+
+// CertPutRequest submits an assembled quorum certificate for persistence.
+type CertPutRequest struct {
+	Certificate core.Certificate `json:"certificate"`
+}
+
+// CertPutResponse acknowledges a stored certificate.
+type CertPutResponse struct {
+	VerifierID string `json:"verifierId"`
+	Stored     bool   `json:"stored"`
+}
+
+// CertGetRequest asks for the stored certificate of one verdict key
+// (canonical hex, as reported by CoSignResponse.Key).
+type CertGetRequest struct {
+	Key string `json:"key"`
+}
+
+// CertGetResponse returns the stored certificate, or Found=false when the
+// key is uncertified or unknown.
+type CertGetResponse struct {
+	VerifierID  string            `json:"verifierId"`
+	Found       bool              `json:"found"`
+	Certificate *core.Certificate `json:"certificate,omitempty"`
+}
 
 // ProvenancePeer is one vouching party in a ProvenanceResponse: how many
 // live records it accounts for, joined with the trust policy's view of
@@ -149,6 +218,41 @@ func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.
 		})
 	case MsgServiceStats:
 		return transport.NewMessage("stats", StatsResponse{VerifierID: s.id, Stats: s.Stats()})
+	case MsgCoSign:
+		var cr CoSignRequest
+		if err := req.Decode(&cr); err != nil {
+			return transport.Message{}, err
+		}
+		resp, err := s.CoSign(ctx, cr.Request)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgCoSigned, resp)
+	case MsgCertPut:
+		var pr CertPutRequest
+		if err := req.Decode(&pr); err != nil {
+			return transport.Message{}, err
+		}
+		if err := s.StoreCertificate(&pr.Certificate); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgCertReceipt, CertPutResponse{VerifierID: s.id, Stored: true})
+	case MsgCertGet:
+		var gr CertGetRequest
+		if err := req.Decode(&gr); err != nil {
+			return transport.Message{}, err
+		}
+		key, err := identity.ParseHash(gr.Key)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		cert, found, err := s.Certificate(key)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(MsgCertificate, CertGetResponse{
+			VerifierID: s.id, Found: found, Certificate: cert,
+		})
 	case MsgProvenance:
 		report, err := s.ProvenanceReport()
 		if err != nil {

@@ -41,11 +41,21 @@ type metrics struct {
 	audits              atomic.Uint64
 	auditRefutations    atomic.Uint64
 	auditsShed          atomic.Uint64
-	accepted            atomic.Uint64
-	rejected            atomic.Uint64
-	failures            atomic.Uint64
-	inFlight            atomic.Int64
-	peakInFlight        atomic.Int64
+
+	// Certificate counters: co-signatures issued by this authority,
+	// certificates accepted into the store (locally assembled or ingested),
+	// certificates served to offline clients, and certificates refused
+	// because they failed verification against the panel keyset.
+	certsCosigned atomic.Uint64
+	certsStored   atomic.Uint64
+	certsServed   atomic.Uint64
+	certsRejected atomic.Uint64
+
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	failures     atomic.Uint64
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
 
 	latCount atomic.Uint64
 	latTotal atomic.Int64 // nanoseconds
@@ -186,6 +196,16 @@ type Stats struct {
 	Audits            uint64 `json:"audits,omitempty"`
 	AuditRefutations  uint64 `json:"auditRefutations,omitempty"`
 	AuditsShed        uint64 `json:"auditsShed,omitempty"`
+	// CertsCosigned counts co-signatures this authority issued over its
+	// own verdicts (MsgCoSign); CertsStored counts quorum certificates
+	// accepted into the durable log — locally submitted or carried in by
+	// anti-entropy; CertsServed counts certificates handed to clients
+	// (MsgCertGet hits); CertsRejected counts certificates refused because
+	// they failed offline verification against the panel keyset.
+	CertsCosigned uint64 `json:"certsCosigned,omitempty"`
+	CertsStored   uint64 `json:"certsStored,omitempty"`
+	CertsServed   uint64 `json:"certsServed,omitempty"`
+	CertsRejected uint64 `json:"certsRejected,omitempty"`
 	// Accepted / Rejected partition delivered verdicts.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
@@ -249,6 +269,10 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 		Audits:            m.audits.Load(),
 		AuditRefutations:  m.auditRefutations.Load(),
 		AuditsShed:        m.auditsShed.Load(),
+		CertsCosigned:     m.certsCosigned.Load(),
+		CertsStored:       m.certsStored.Load(),
+		CertsServed:       m.certsServed.Load(),
+		CertsRejected:     m.certsRejected.Load(),
 		Accepted:          m.accepted.Load(),
 		Rejected:          m.rejected.Load(),
 		Failures:          m.failures.Load(),

@@ -105,6 +105,22 @@ type Config struct {
 	// the store sees a byte. Empty means any peer's delta is accepted
 	// (the intra-operator trust model of a single-fleet deployment).
 	PeerKeys []identity.PartyID
+	// PanelKeys, when non-empty, is the ordered quorum-certificate panel:
+	// the known Ed25519 party IDs whose co-signatures a core.Certificate
+	// must carry. Order matters — the certificate's panel bitmap indexes
+	// this slice — so every authority and client in a deployment must
+	// configure the identical list. When set, certificates submitted over
+	// the wire (MsgCertPut) or carried in by anti-entropy are verified
+	// offline against this keyset before they are stored; failures are
+	// counted and logged with the "certificate rejected:" prefix. Empty
+	// means certificates are stored and served unverified (the
+	// single-operator trust model).
+	PanelKeys []identity.PartyID
+	// CertThreshold is the minimum co-signature count a verified
+	// certificate must carry; zero means the supermajority default
+	// core.SupermajorityThreshold(len(PanelKeys)). Ignored when PanelKeys
+	// is empty.
+	CertThreshold int
 	// Trust, when non-nil, is the quarantine policy enforced at the
 	// federation gate: deltas signed by a quarantined peer are counted
 	// but refused (ErrPeerQuarantined), refuted records charge the peer
@@ -145,6 +161,12 @@ type Service struct {
 	// foreign records from ones it vouched for itself.
 	trust  *trust.Policy
 	origin identity.PartyID
+
+	// panelKeys and certThreshold gate incoming quorum certificates
+	// (Config.PanelKeys / Config.CertThreshold); empty panelKeys means
+	// certificates pass unverified.
+	panelKeys     []identity.PartyID
+	certThreshold int
 
 	// audits feeds the background auditor: records sampled at ingest at
 	// Config.AuditRate. The send is non-blocking — a saturated auditor
@@ -238,6 +260,14 @@ func New(cfg Config) (*Service, error) {
 	s.fed = fed
 	s.trust = cfg.Trust
 	s.origin = signerID(cfg.Key)
+	for _, pk := range cfg.PanelKeys {
+		canonical, err := identity.ParsePartyID(string(pk))
+		if err != nil {
+			return nil, fmt.Errorf("service: panel keyset: %w", err)
+		}
+		s.panelKeys = append(s.panelKeys, canonical)
+	}
+	s.certThreshold = cfg.CertThreshold
 	if cfg.AuditRate < 0 || cfg.AuditRate > 1 {
 		return nil, fmt.Errorf("service: AuditRate must be in [0, 1], got %g", cfg.AuditRate)
 	}
@@ -296,7 +326,10 @@ func New(cfg Config) (*Service, error) {
 			records = records[len(records)-cacheSize:]
 		}
 		for i := range records {
-			s.cache.Put(records[i].Key, records[i].Verdict)
+			// Certified verdicts replay with their certificate: a restarted
+			// authority serves quorum certificates as cache hits, same as
+			// plain verdicts.
+			s.cache.PutCertified(records[i].Key, records[i].Verdict, records[i].Cert, false)
 		}
 		s.store = vs
 		// Count what survived, not what was offered: capacity splits

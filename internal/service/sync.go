@@ -253,9 +253,20 @@ func (s *Service) Ingest(recs []store.Record) (int, error) {
 		return 0, err
 	}
 	defer s.release()
+	for i := range recs {
+		// Carried quorum certificates face the panel keyset before the
+		// store sees them: a certificate that fails offline verification
+		// is stripped (and counted) while its verdict still merges — bad
+		// co-signatures must not block replication, and unverifiable
+		// certification must not be re-served as the panel's word.
+		s.admitRecordCert(&recs[i])
+	}
 	applied, refuted, err := s.store.Ingest(recs)
 	for i := range applied {
-		s.cache.PutCold(applied[i].Key, applied[i].Verdict)
+		s.cache.PutCertified(applied[i].Key, applied[i].Verdict, applied[i].Cert, true)
+		if len(applied[i].Cert) > 0 {
+			s.metrics.certsStored.Add(1)
+		}
 		s.maybeAudit(&applied[i])
 		// An applied foreign record is news to this authority's own gossip
 		// partners too: re-rumoring it is what makes spread epidemic

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendRecordV3 frames one record in the pre-certificate v3 layout
+// (origin + request columns, no cert column) — exactly what a PR-7-era
+// store wrote. It exists only in tests: production code writes v4 only.
+func appendRecordV3(t *testing.T, buf []byte, r *Record) []byte {
+	t.Helper()
+	body, err := json.Marshal(&r.Verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, headerLen)...)
+	buf = append(buf, r.Key[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, r.Stamp)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Origin)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Request)))
+	buf = append(buf, r.Origin...)
+	buf = append(buf, r.Request...)
+	buf = append(buf, body...)
+	payload := buf[start+headerLen:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// TestCertifiedRecordRoundTrip persists a record with a certificate
+// column and replays it across a restart: the certificate must survive
+// byte for byte, and uncertified records must keep an empty column.
+func TestCertifiedRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := []byte(`{"key":"ab","verdict":{"accepted":true},"panel":"Bw==","sigs":[]}`)
+	if !s.AppendCertified(testKey(0), testVerdict(0), testRequest(0), cert) {
+		t.Fatal("certified append refused")
+	}
+	if !s.Append(testKey(1), testVerdict(1), testRequest(1)) {
+		t.Fatal("plain append refused")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, records, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(records) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(records))
+	}
+	byKey := map[[32]byte]Record{}
+	for _, r := range records {
+		byKey[r.Key] = r
+	}
+	if got := byKey[testKey(0)].Cert; !bytes.Equal(got, cert) {
+		t.Fatalf("certificate column round-trip: got %q, want %q", got, cert)
+	}
+	if got := byKey[testKey(1)].Cert; got != nil {
+		t.Fatalf("uncertified record grew a cert column: %q", got)
+	}
+}
+
+// TestV3SegmentUpgrade commits a v3-era log (origin + request, no cert
+// column) and opens it: records must replay with empty certificates, the
+// store must rewrite itself to v4 (counted as a compaction), and the new
+// tail must carry the v4 header.
+func TestV3SegmentUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	tail := []byte{'R', 'V', 'L', 'S', segmentV3}
+	tail = appendRecordV3(t, tail, &Record{Key: testKey(0), Stamp: 1, Origin: "aa11", Request: testRequest(0), Verdict: testVerdict(0)})
+	tail = appendRecordV3(t, tail, &Record{Key: testKey(1), Stamp: 2, Verdict: testVerdict(1)})
+	if err := os.WriteFile(filepath.Join(dir, tailName), tail, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, records, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("replayed %d records from the v3 log, want 2", len(records))
+	}
+	if records[0].Origin != "aa11" || records[0].Request == nil {
+		t.Fatalf("v3 columns lost in upgrade: %+v", records[0])
+	}
+	if records[0].Cert != nil || records[1].Cert != nil {
+		t.Fatal("v3 records must replay uncertified")
+	}
+	if got := s.Stats().Compactions; got != 1 {
+		t.Fatalf("upgrade rewrite counted %d compactions, want 1", got)
+	}
+	// A certificate now persists in the upgraded store...
+	cert := []byte(`{"key":"cd"}`)
+	if !s.AppendCertified(testKey(2), testVerdict(2), nil, cert) {
+		t.Fatal("append after upgrade refused")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the tail header is v4.
+	head := make([]byte, segmentHeaderLen)
+	f, err := os.Open(filepath.Join(dir, tailName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	if head[4] != segmentV4 {
+		t.Fatalf("upgraded tail header version = %d, want %d", head[4], segmentV4)
+	}
+}
+
+// TestCertificateTravelsAntiEntropy proves certificates are replicated
+// data: a record that gains a certificate reads as new content (the
+// record sum covers the cert column), so Delta re-sends it to a peer that
+// already converged on the bare verdict, and Ingest carries the
+// certificate into the receiving store.
+func TestCertificateTravelsAntiEntropy(t *testing.T) {
+	a, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Both sides hold the identical bare verdict.
+	if !a.Append(testKey(0), testVerdict(0), testRequest(0)) {
+		t.Fatal("append refused")
+	}
+	man, err := a.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := a.Delta(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Ingest(delta); err != nil {
+		t.Fatal(err)
+	}
+	// Converged: a's delta against b's manifest is empty.
+	bman, err := b.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := a.Delta(bman); err != nil || len(d) != 0 {
+		t.Fatalf("converged stores still transfer: %d records, %v", len(d), err)
+	}
+
+	// a's record gains a certificate: new content, so it travels.
+	cert := []byte(`{"key":"ef","sigs":[]}`)
+	if !a.AppendCertified(testKey(0), testVerdict(0), testRequest(0), cert) {
+		t.Fatal("certified re-append refused")
+	}
+	man2, err := a.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2[testKey(0)].Sum == man[testKey(0)].Sum {
+		t.Fatal("record sum unchanged by the certificate — anti-entropy would never ship it")
+	}
+	d, err := a.Delta(bman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || !bytes.Equal(d[0].Cert, cert) {
+		t.Fatalf("certified record not in delta: %+v", d)
+	}
+	applied, _, err := b.Ingest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || !bytes.Equal(applied[0].Cert, cert) {
+		t.Fatalf("certificate lost in ingest: %+v", applied)
+	}
+
+	// And the wire framing preserves it.
+	blob, err := EncodeRecords(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecords(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !bytes.Equal(back[0].Cert, cert) {
+		t.Fatalf("certificate lost on the wire: %+v", back)
+	}
+}

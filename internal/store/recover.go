@@ -59,10 +59,11 @@ type recovery struct {
 	maxStamp uint64
 	total    uint64 // valid records seen across snapshot + tail
 	salvaged int64  // bytes truncated off a torn tail
-	// upgrade is set when a non-empty legacy segment (v1 headerless, or
-	// v2 without the request column) was replayed: Open then rewrites the
-	// store in the current format before the flusher starts, so v3 is the
-	// only format ever appended to.
+	// upgrade is set when a non-empty legacy segment (v1 headerless, v2
+	// without the request column, or v3 without the certificate column)
+	// was replayed: Open then rewrites the store in the current format
+	// before the flusher starts, so v4 is the only format ever appended
+	// to.
 	upgrade bool
 }
 
@@ -86,7 +87,7 @@ func recoverDir(dir string) (*recovery, error) {
 		rec.live[r.Key] = &cp
 	}
 	noteLegacy := func(version int, size int64) {
-		if version < segmentV3 && size > 0 {
+		if version < segmentV4 && size > 0 {
 			rec.upgrade = true
 		}
 	}
@@ -117,7 +118,7 @@ func replayFile(path string, fn func(*Record), onDone func(valid, size int64, ve
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		if onDone != nil {
-			return onDone(0, 0, segmentV3)
+			return onDone(0, 0, segmentV4)
 		}
 		return nil
 	}

@@ -20,7 +20,7 @@ import (
 //	offset  size  field
 //	------  ----  -----------------------------------------------
 //	0       4     magic   "RVLS" (rationality verdict-log segment)
-//	4       1     version 3
+//	4       1     version 4
 //	then per record:
 //	0       4     length  uint32 BE — byte length of the payload
 //	4       4     crc     uint32 BE — CRC32C (Castagnoli) of payload
@@ -29,11 +29,15 @@ import (
 //	          8      stamp   uint64 BE (monotonic append sequence)
 //	          2      olen    uint16 BE — byte length of origin
 //	          4      qlen    uint32 BE — byte length of request
+//	          4      clen    uint32 BE — byte length of cert
 //	          olen   origin  identity.PartyID of the vouching authority
 //	                         (hex Ed25519 public key; empty = unattributed)
 //	          qlen   request (JSON-encoded core.VerifyRequest — the inputs
 //	                         the verdict was computed from; empty = the
 //	                         record predates v3 and cannot be re-audited)
+//	          clen   cert    (JSON-encoded core.Certificate — the aggregate
+//	                         quorum certificate vouching for the verdict;
+//	                         empty = uncertified)
 //	          rest   verdict (JSON-encoded core.Verdict)
 //
 // Version 1 segments — everything written before the federation change —
@@ -41,13 +45,16 @@ import (
 // A reader distinguishes the formats by the magic: v1 could never start
 // with "RVLS" because a record's first four bytes are a big-endian length
 // far below 0x52564c53. Version 2 added the header and the origin column;
-// version 3 adds the request column, which is what lets any authority
-// re-run the verification procedure for any record it holds — the audit
-// loop's raw material. v1 and v2 segments are read transparently (missing
-// columns come back empty) and upgraded to v3 the first time the store
-// opens them; v3 is the only format ever written.
+// version 3 added the request column (what lets any authority re-run the
+// verification procedure for any record it holds — the audit loop's raw
+// material); version 4 adds the certificate column, which makes aggregate
+// quorum certificates first-class records that warm-start, compact and
+// replicate exactly like the verdicts they certify. v1, v2 and v3
+// segments are read transparently (missing columns come back empty) and
+// upgraded to v4 the first time the store opens them; v4 is the only
+// format ever written.
 //
-// The CRC covers the whole payload (key, stamp, origin, request and
+// The CRC covers the whole payload (key, stamp, origin, request, cert and
 // verdict), so a flipped bit anywhere in a record is detected; the length
 // prefix is implicitly protected because a corrupted length makes the CRC
 // check of the mis-framed payload fail (except with probability 2^-32).
@@ -57,17 +64,19 @@ import (
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Segment format versions. segmentV1 is the legacy headerless layout (no
-// origin column); segmentV2 added the header and origin; segmentV3 — the
-// current layout — adds the request column.
+// origin column); segmentV2 added the header and origin; segmentV3 added
+// the request column; segmentV4 — the current layout — adds the
+// certificate column.
 const (
 	segmentV1 = 1
 	segmentV2 = 2
 	segmentV3 = 3
+	segmentV4 = 4
 )
 
 // segmentHeader is the five-byte prefix of every written segment (and of
 // every wire-framed delta): the magic plus the current version.
-var segmentHeader = []byte{'R', 'V', 'L', 'S', segmentV3}
+var segmentHeader = []byte{'R', 'V', 'L', 'S', segmentV4}
 
 const (
 	// segmentHeaderLen is the length of the per-file version header.
@@ -80,14 +89,17 @@ const (
 	stampLen = 8
 	// originLenLen is the origin length prefix inside a v2+ payload.
 	originLenLen = 2
-	// requestLenLen is the request length prefix inside a v3 payload.
+	// requestLenLen is the request length prefix inside a v3+ payload.
 	requestLenLen = 4
-	// minPayloadV1 / minPayloadV2 / minPayloadV3 bound the smallest
-	// well-formed payload per format version, so the frame reader can
-	// reject a length field before allocating.
+	// certLenLen is the certificate length prefix inside a v4 payload.
+	certLenLen = 4
+	// minPayloadV1 / minPayloadV2 / minPayloadV3 / minPayloadV4 bound the
+	// smallest well-formed payload per format version, so the frame reader
+	// can reject a length field before allocating.
 	minPayloadV1 = keyLen + stampLen
 	minPayloadV2 = keyLen + stampLen + originLenLen
 	minPayloadV3 = keyLen + stampLen + originLenLen + requestLenLen
+	minPayloadV4 = keyLen + stampLen + originLenLen + requestLenLen + certLenLen
 	// maxOrigin bounds the origin column. A party ID is 64 bytes of hex;
 	// anything much longer is corruption, not an identity.
 	maxOrigin = 256
@@ -105,12 +117,15 @@ const (
 // ingested ones; empty on unkeyed deployments and legacy v1 records), the
 // request the verdict was computed from (JSON core.VerifyRequest; empty
 // on records that predate the v3 format — those cannot be re-audited),
-// and the verdict itself.
+// the aggregate quorum certificate vouching for the verdict (JSON
+// core.Certificate; empty on uncertified records and everything that
+// predates the v4 format), and the verdict itself.
 type Record struct {
 	Key     identity.Hash
 	Stamp   uint64
 	Origin  identity.PartyID
 	Request json.RawMessage
+	Cert    []byte
 	Verdict core.Verdict
 }
 
@@ -130,22 +145,30 @@ type idxEntry struct {
 	accepted bool
 }
 
-// verdictSum is the content checksum the index and sync manifests carry:
-// CRC32C over the canonical JSON encoding of the verdict — the exact
-// bytes appendRecord frames, so every replica computes the same sum for
-// the same verdict regardless of which one first persisted it or which
-// authority's provenance it carries (the origin column is deliberately
-// excluded: replicas converge on verdict content, not on custody chains).
-func verdictSum(v *core.Verdict) uint32 {
-	body, err := json.Marshal(v)
+// recordSum is the content checksum the index and sync manifests carry:
+// CRC32C over the canonical JSON encoding of the verdict extended with
+// the certificate bytes — the exact bytes appendRecord frames, so every
+// replica computes the same sum for the same content regardless of which
+// one first persisted it or which authority's provenance it carries (the
+// origin column is deliberately excluded: replicas converge on content,
+// not on custody chains). Including the certificate means a record that
+// gains a quorum certificate reads as new content to anti-entropy and
+// gossip, so certificates propagate even where the bare verdict already
+// converged.
+func recordSum(r *Record) uint32 {
+	body, err := json.Marshal(&r.Verdict)
 	if err != nil {
 		return 0 // unencodable: writeStamped will refuse it anyway
 	}
-	return crc32.Checksum(body, crcTable)
+	sum := crc32.Checksum(body, crcTable)
+	if len(r.Cert) > 0 {
+		sum = crc32.Update(sum, crcTable, r.Cert)
+	}
+	return sum
 }
 
-// appendRecord encodes a record onto buf in the v3 layout and returns the
-// extended slice plus the verdict's content checksum (computed here, where
+// appendRecord encodes a record onto buf in the v4 layout and returns the
+// extended slice plus the record's content checksum (computed here, where
 // the verdict bytes already exist, so the index never pays a second
 // marshal). The frame is assembled in memory first so the file write is a
 // single contiguous append — the closest a userspace writer gets to
@@ -158,7 +181,7 @@ func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	if len(r.Origin) > maxOrigin {
 		return buf, 0, fmt.Errorf("store: origin of %d bytes exceeds the %d-byte bound", len(r.Origin), maxOrigin)
 	}
-	payloadLen := minPayloadV3 + len(r.Origin) + len(r.Request) + len(body)
+	payloadLen := minPayloadV4 + len(r.Origin) + len(r.Request) + len(r.Cert) + len(body)
 	if payloadLen > maxPayload {
 		return buf, 0, fmt.Errorf("store: record of %d bytes exceeds the %d-byte bound", payloadLen, maxPayload)
 	}
@@ -168,13 +191,19 @@ func appendRecord(buf []byte, r *Record) ([]byte, uint32, error) {
 	buf = binary.BigEndian.AppendUint64(buf, r.Stamp)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Origin)))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Request)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Cert)))
 	buf = append(buf, r.Origin...)
 	buf = append(buf, r.Request...)
+	buf = append(buf, r.Cert...)
 	buf = append(buf, body...)
 	payload := buf[start+headerLen:]
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
-	return buf, crc32.Checksum(body, crcTable), nil
+	sum := crc32.Checksum(body, crcTable)
+	if len(r.Cert) > 0 {
+		sum = crc32.Update(sum, crcTable, r.Cert)
+	}
+	return buf, sum, nil
 }
 
 // errTorn reports a frame that cannot be trusted: a short read, a length
@@ -202,7 +231,7 @@ func sniffVersion(br *bufio.Reader) (int, error) {
 	if string(head[:4]) != string(segmentHeader[:4]) {
 		return segmentV1, nil
 	}
-	if head[4] != segmentV2 && head[4] != segmentV3 {
+	if head[4] != segmentV2 && head[4] != segmentV3 && head[4] != segmentV4 {
 		return 0, fmt.Errorf("%w: %d", errVersion, head[4])
 	}
 	br.Discard(segmentHeaderLen)
@@ -226,6 +255,8 @@ func readRecord(r io.Reader, rec *Record, version int) (int, error) {
 	}
 	minPayload := minPayloadV1
 	switch {
+	case version >= segmentV4:
+		minPayload = minPayloadV4
 	case version >= segmentV3:
 		minPayload = minPayloadV3
 	case version >= segmentV2:
@@ -250,7 +281,24 @@ func readRecord(r io.Reader, rec *Record, version int) (int, error) {
 	body := payload[minPayloadV1:]
 	rec.Origin = ""
 	rec.Request = nil
+	rec.Cert = nil
 	switch {
+	case version >= segmentV4:
+		olen := int(binary.BigEndian.Uint16(payload[keyLen+stampLen : keyLen+stampLen+originLenLen]))
+		qlen := int(binary.BigEndian.Uint32(payload[keyLen+stampLen+originLenLen : minPayloadV3]))
+		clen := int(binary.BigEndian.Uint32(payload[minPayloadV3:minPayloadV4]))
+		if olen > maxOrigin || qlen > maxPayload || clen > maxPayload ||
+			minPayloadV4+olen+qlen+clen > length {
+			return 0, errTorn
+		}
+		rec.Origin = identity.PartyID(payload[minPayloadV4 : minPayloadV4+olen])
+		if qlen > 0 {
+			rec.Request = json.RawMessage(payload[minPayloadV4+olen : minPayloadV4+olen+qlen])
+		}
+		if clen > 0 {
+			rec.Cert = payload[minPayloadV4+olen+qlen : minPayloadV4+olen+qlen+clen]
+		}
+		body = payload[minPayloadV4+olen+qlen+clen:]
 	case version >= segmentV3:
 		olen := int(binary.BigEndian.Uint16(payload[keyLen+stampLen : keyLen+stampLen+originLenLen]))
 		qlen := int(binary.BigEndian.Uint32(payload[keyLen+stampLen+originLenLen : minPayloadV3]))

@@ -230,7 +230,7 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 		nextStamp: rec.maxStamp + 1,
 	}
 	for key, r := range rec.live {
-		s.index[key] = idxEntry{stamp: r.Stamp, sum: verdictSum(&r.Verdict), origin: r.Origin, accepted: r.Verdict.Accepted}
+		s.index[key] = idxEntry{stamp: r.Stamp, sum: recordSum(r), origin: r.Origin, accepted: r.Verdict.Accepted}
 	}
 	live := uint64(len(rec.live))
 	s.replayed.Store(live)
@@ -249,15 +249,15 @@ func Open(dir string, opts Options) (*Store, []Record, error) {
 
 // upgradeSegments brings the on-disk format to the current segment
 // version before the flusher starts. A store whose segments replayed as
-// legacy (v1 or v2) is rewritten wholesale — the live set goes into a
-// fresh v3 snapshot, the tail is truncated and given the version header —
-// so v3 is the only format ever appended to and the origin and request
-// columns exist for every future record (the migrated history keeps
-// whatever columns it had: v1 records stay unattributed, pre-v3 records
-// stay unauditable — no one recorded their inputs). The rewrite is a
-// compaction in all but trigger, and is counted as one. A store already
-// at v3 only has its tail header written when the tail is brand new or
-// was salvaged to empty.
+// legacy (v1, v2 or v3) is rewritten wholesale — the live set goes into a
+// fresh v4 snapshot, the tail is truncated and given the version header —
+// so v4 is the only format ever appended to and the origin, request and
+// certificate columns exist for every future record (the migrated history
+// keeps whatever columns it had: v1 records stay unattributed, pre-v3
+// records stay unauditable, pre-v4 records stay uncertified — no one
+// recorded what was never there). The rewrite is a compaction in all but
+// trigger, and is counted as one. A store already at v4 only has its tail
+// header written when the tail is brand new or was salvaged to empty.
 func (s *Store) upgradeSegments(rec *recovery) error {
 	if rec.upgrade {
 		if err := s.writeSnapshot(rec.live); err != nil {
@@ -298,6 +298,15 @@ func (s *Store) upgradeSegments(rec *recovery) error {
 // Records queued after Close starts may or may not be persisted; call
 // Append only before Close, as the service's drain ordering guarantees.
 func (s *Store) Append(key identity.Hash, v core.Verdict, request []byte) bool {
+	return s.AppendCertified(key, v, request, nil)
+}
+
+// AppendCertified is Append with an aggregate quorum certificate
+// attached: the encoded core.Certificate persists in the record's
+// certificate column and replicates with it, so a restarted or syncing
+// authority serves the certificate as readily as the verdict. A nil cert
+// is exactly Append.
+func (s *Store) AppendCertified(key identity.Hash, v core.Verdict, request, cert []byte) bool {
 	select {
 	case <-s.quit:
 		return false // closed: the flusher is draining or gone
@@ -315,8 +324,12 @@ func (s *Store) Append(key identity.Hash, v core.Verdict, request []byte) bool {
 	if len(request) > 0 {
 		req = append(json.RawMessage(nil), request...)
 	}
+	var cp []byte
+	if len(cert) > 0 {
+		cp = append([]byte(nil), cert...)
+	}
 	select {
-	case s.queue <- Record{Key: key, Verdict: v.Clone(), Request: req}:
+	case s.queue <- Record{Key: key, Verdict: v.Clone(), Request: req, Cert: cp}:
 		return true
 	default:
 		s.dropped.Add(1)

@@ -225,9 +225,10 @@ func EncodeRecords(recs []Record) ([]byte, error) {
 // DecodeRecords parses a framed blob produced by EncodeRecords, verifying
 // every record's checksum. A blob without the version header is read as
 // the legacy v1 layout (a pre-federation peer's delta: records come back
-// with no Origin), and a v2-headed blob as the pre-audit layout (no
-// Request column), so an upgraded verifier keeps pulling successfully
-// from not-yet-upgraded peers during a rolling upgrade. Compatibility is
+// with no Origin), a v2-headed blob as the pre-audit layout (no Request
+// column), and a v3-headed blob as the pre-certificate layout (no Cert
+// column), so an upgraded verifier keeps pulling successfully from
+// not-yet-upgraded peers during a rolling upgrade. Compatibility is
 // one-directional: an older DecodeRecords cannot parse a newer header,
 // so old requesters pulling from an upgraded responder fail with a
 // corruption error until they upgrade too — upgrade the pullers first.

@@ -227,6 +227,84 @@ type (
 	SyncDeltaResponse = service.SyncDeltaResponse
 )
 
+// Aggregate quorum certificates (CoSi-style): a coordinator runs the
+// panel fan-out once, collects each member's Ed25519 co-signature over
+// the canonical verdict digest, and assembles a certificate any client
+// verifies offline — one request to any authority holding it plus
+// signature checks against the known panel keyset, no live panel needed.
+type (
+	// Certificate is a quorum-certified verdict: the request key, the
+	// verdict, a panel-member bitmap over the agreed ordered keyset, and
+	// the co-signatures of the set bits. Verify checks it offline.
+	Certificate = core.Certificate
+	// Certifier is the certificate coordinator: one fan-out over the
+	// panel, one Certificate out. Build it with NewCertifier.
+	Certifier = quorum.Certifier
+	// CertifierConfig configures a Certifier: the panel members, the
+	// ordered keyset (the bitmap index space every party must share), the
+	// co-signature threshold (zero means supermajority) and the
+	// per-member call timeout.
+	CertifierConfig = quorum.CertifierConfig
+	// CoSignRequest / CoSignResponse are the "cosign" wire payloads: a
+	// verification request in, the member's verdict plus its Ed25519
+	// signature over the canonical certificate digest out.
+	CoSignRequest  = service.CoSignRequest
+	CoSignResponse = service.CoSignResponse
+	// CertPutRequest / CertPutResponse are the "cert-put" wire payloads:
+	// an assembled certificate submitted for durable storage (verified
+	// against the authority's ServiceConfig.PanelKeys first).
+	CertPutRequest  = service.CertPutRequest
+	CertPutResponse = service.CertPutResponse
+	// CertGetRequest / CertGetResponse are the "cert-get" wire payloads:
+	// the one request an offline client needs — a hex verdict key in, the
+	// stored certificate out.
+	CertGetRequest  = service.CertGetRequest
+	CertGetResponse = service.CertGetResponse
+)
+
+// Certificate wire message types.
+const (
+	// MsgCoSign asks an authority to verify and co-sign one request.
+	MsgCoSign = service.MsgCoSign
+	// MsgCoSigned is the reply type to a cosign request.
+	MsgCoSigned = service.MsgCoSigned
+	// MsgCertPut submits an assembled certificate for durable storage.
+	MsgCertPut = service.MsgCertPut
+	// MsgCertReceipt is the reply type to a cert-put.
+	MsgCertReceipt = service.MsgCertReceipt
+	// MsgCertGet fetches a stored certificate by its hex verdict key.
+	MsgCertGet = service.MsgCertGet
+	// MsgCertificate is the reply type to a cert-get.
+	MsgCertificate = service.MsgCertificate
+)
+
+// Certificate errors.
+var (
+	// ErrCertificateRejected wraps every certificate verification failure;
+	// its message prefix ("certificate rejected:") is the stable log line
+	// operators and the CI smoke grep for.
+	ErrCertificateRejected = core.ErrCertificateRejected
+	// ErrCertification wraps a Certifier fan-out that could not assemble a
+	// certificate (too few valid co-signatures over one verdict).
+	ErrCertification = quorum.ErrCertification
+)
+
+// NewCertifier validates the panel and keyset and builds the certificate
+// coordinator. Member clients are borrowed, not owned.
+func NewCertifier(cfg CertifierConfig) (*Certifier, error) { return quorum.NewCertifier(cfg) }
+
+// SupermajorityThreshold is the default co-signature bar for a panel of n:
+// ⌊2n/3⌋+1, the smallest count a coalition of fewer than n/3 Byzantine
+// members cannot assemble two of over conflicting verdicts.
+func SupermajorityThreshold(n int) int { return core.SupermajorityThreshold(n) }
+
+// EncodeCertificate serializes a certificate for storage or transfer;
+// DecodeCertificate is its inverse (nil in, nil out).
+func EncodeCertificate(c *Certificate) ([]byte, error) { return core.EncodeCertificate(c) }
+
+// DecodeCertificate parses a certificate encoded by EncodeCertificate.
+func DecodeCertificate(raw []byte) (*Certificate, error) { return core.DecodeCertificate(raw) }
+
 // Federation (signed anti-entropy across operator boundaries): each
 // authority holds a persistent Ed25519 identity, signs every sync-delta
 // it serves, and verifies pulled deltas against a peer allowlist before
