@@ -146,9 +146,10 @@ func usage() {
                      [-panel-keys hexkey,hexkey,...] [-cert-threshold n]
                      [-audit-rate x] [-quarantine-threshold x] [-probation d] [-admin addr]
                      [-gossip] [-fanout n] [-rumor-ttl n]
+                     [-admission-interactive rate] [-admission-batch rate]
   authority keygen -key <file>                (create or load a signing identity; print its party ID)
   authority agent -inventor <addr> -verifiers <id=addr,id=addr,...> [-name <name>] [-conns n]
-  authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n]
+  authority batch -verifier <addr> -game <pd|mp|auction|pd-forged> [-count n] [-conns n] [-stream]
   authority quorum -verifiers <id=addr,id=addr,...> [-inventor <addr> | -game <name>]
                    [-call-timeout d] [-threshold x] [-conns n]
   authority cert issue -verifiers <id=addr,...> -keyset <hexkey,...> [-game <name>] [-threshold n]
@@ -264,6 +265,10 @@ func runVerifier(args []string) error {
 		"ordered comma-separated hex public keys of the certificate panel: submitted or replicated quorum certificates must verify against this keyset (order is the bitmap index space, so every party must use the same list; empty stores certificates unverified)")
 	certThreshold := fs.Int("cert-threshold", 0,
 		"minimum co-signatures a certificate needs to be accepted (0 = supermajority of -panel-keys)")
+	admissionInteractive := fs.Float64("admission-interactive", 0,
+		"sustained interactive (single-verify) admission rate in verifications/s; burst defaults to 2x the rate; 0 leaves the interactive class unlimited (requires -admission-batch or itself >0 to enable the controller)")
+	admissionBatch := fs.Float64("admission-batch", 0,
+		"sustained batch/stream admission rate in items/s; a whole batch is admitted or shed atomically, and the batch class always sheds before interactive traffic does; 0 leaves the batch class unlimited")
 	admin := fs.String("admin", "",
 		"admin listen address for /metrics, /healthz, /readyz and /debug/pprof (empty disables the operator plane; keep it off the service port)")
 	corrupt := fs.Bool("corrupt", false, "flip every verdict (adversarial test double)")
@@ -340,6 +345,12 @@ func runVerifier(args []string) error {
 	}
 	if *auditRate < 0 || *auditRate > 1 {
 		return fmt.Errorf("-audit-rate must be in [0, 1], got %g", *auditRate)
+	}
+	if *admissionInteractive < 0 {
+		return fmt.Errorf("-admission-interactive must be >= 0, got %g", *admissionInteractive)
+	}
+	if *admissionBatch < 0 {
+		return fmt.Errorf("-admission-batch must be >= 0, got %g", *admissionBatch)
 	}
 	if *auditRate > 0 && *persist == "" {
 		return fmt.Errorf("-audit-rate requires -persist: auditing re-executes the persisted verify request")
@@ -484,9 +495,17 @@ func runVerifier(args []string) error {
 		CertThreshold: *certThreshold,
 		Trust:         pol,
 		AuditRate:     *auditRate,
+		Admission: service.AdmissionConfig{
+			InteractiveRate: *admissionInteractive,
+			BatchRate:       *admissionBatch,
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if adm := svc.Stats().Admission; adm != nil {
+		fmt.Printf("admission: interactive rate=%g/s burst=%d, batch rate=%g/s burst=%d (batch sheds first)\n",
+			adm.Interactive.Rate, adm.Interactive.Burst, adm.Batch.Rate, adm.Batch.Burst)
 	}
 	live.Store(svc)
 	if ready != nil {
@@ -939,7 +958,10 @@ func validateSyncEvery(n int) error {
 }
 
 // runBatch submits count copies of a built-in announcement as one
-// verify-batch request — a load probe for the service layer.
+// verify-batch request — a load probe for the service layer. With
+// -stream the batch goes through the verify-stream exchange instead:
+// verdicts arrive one frame at a time as workers finish, and the probe
+// reports the time-to-first-verdict next to the total.
 func runBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	verifierAddr := fs.String("verifier", "127.0.0.1:7101", "verifier address")
@@ -947,6 +969,8 @@ func runBatch(args []string) error {
 	count := fs.Int("count", 10, "announcements per batch")
 	conns := fs.Int("conns", 1, "client connection-pool size")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	stream := fs.Bool("stream", false,
+		"use the verify-stream exchange: one verdict frame per item as workers finish, so the first verdict lands after one verification instead of after the whole batch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -963,6 +987,9 @@ func runBatch(args []string) error {
 		return err
 	}
 	defer client.Close()
+	if *stream {
+		return runBatchStream(client, anns, *timeout)
+	}
 	req, err := transport.NewMessage(service.MsgVerifyBatch, service.BatchVerifyRequest{Announcements: anns})
 	if err != nil {
 		return err
@@ -987,6 +1014,40 @@ func runBatch(args []string) error {
 	}
 	fmt.Printf("batch of %d to %s: accepted=%d rejected=%d in %s\n",
 		len(br.Verdicts), br.VerifierID, accepted, len(br.Verdicts)-accepted, elapsed)
+	if br.Partial {
+		fmt.Printf("batch partial: done=%d of %d (%s)\n", br.Done, br.Total, br.Error)
+	}
+	return nil
+}
+
+// runBatchStream drives one verify-stream exchange and reports its
+// latency shape: the first-verdict line prints the moment frame zero
+// lands (the number streaming exists to flatten), the trailer line sums
+// up the exchange.
+func runBatchStream(client *transport.TCPClient, anns []core.Announcement, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	accepted, delivered := 0, 0
+	tr, err := service.StreamVerify(ctx, client, anns, func(sv service.StreamVerdict) error {
+		if delivered == 0 {
+			fmt.Printf("stream: first verdict after %s\n", time.Since(start))
+		}
+		delivered++
+		if sv.Verdict.Accepted {
+			accepted++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("stream trailer: %d of %d from %s: accepted=%d rejected=%d truncated=%v in %s (server first-verdict %s)\n",
+		tr.Delivered, tr.Items, tr.VerifierID, tr.Accepted, tr.Rejected, tr.Truncated, elapsed, tr.FirstVerdict)
+	if tr.Truncated && tr.Reason != "" {
+		fmt.Printf("stream truncated: %s\n", tr.Reason)
+	}
 	return nil
 }
 

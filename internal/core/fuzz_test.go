@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCertificate hammers the quorum-certificate decoder with
+// arbitrary bytes — certificates arrive from untrusted peers (cert-put,
+// record ingestion), so the decoder must reject garbage without
+// panicking, and anything it accepts must re-encode and decode back to
+// the same certificate.
+func FuzzDecodeCertificate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"key":"00","verdict":{"accepted":true},"panel":"AQ==","sigs":["c2ln"]}`))
+	f.Add([]byte(`{"key":"zzzz"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte{0xff, 0x00, 0x01})
+	if c, err := DecodeCertificate(nil); err == nil && c == nil {
+		// empty-input contract exercised above; seed a well-formed blob too
+		seed, err := EncodeCertificate(&Certificate{
+			Key:     "ab12",
+			Verdict: Verdict{Accepted: true, Format: "f/v1"},
+			Panel:   []byte{0x03},
+			Sigs:    [][]byte{[]byte("s0"), []byte("s1")},
+		})
+		if err == nil {
+			f.Add(seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCertificate(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		if c == nil {
+			if len(bytes.TrimSpace(data)) != 0 && string(bytes.TrimSpace(data)) != "null" {
+				// Only the documented empty-input case may yield nil, nil.
+				t.Fatalf("non-empty input %q decoded to a nil certificate without error", data)
+			}
+			return
+		}
+		_, _ = c.KeyHash() // must not panic for any decoded certificate
+		encoded, err := EncodeCertificate(c)
+		if err != nil {
+			t.Fatalf("decoded certificate failed to re-encode: %v", err)
+		}
+		back, err := DecodeCertificate(encoded)
+		if err != nil || back == nil {
+			t.Fatalf("re-encoded certificate failed to decode: %v", err)
+		}
+		if back.Key != c.Key || back.Verdict.Accepted != c.Verdict.Accepted ||
+			!bytes.Equal(back.Panel, c.Panel) || len(back.Sigs) != len(c.Sigs) {
+			t.Fatalf("round trip changed the certificate: %+v -> %+v", c, back)
+		}
+	})
+}

@@ -165,7 +165,24 @@ func WriteMetrics(w io.Writer, verifierID string, st service.Stats) error {
 	p.counter("rationality_certificates_served_total", "Stored certificates handed to clients for offline verification.", st.CertsServed)
 	p.counter("rationality_certificates_rejected_total", "Certificates refused because they failed offline verification against the panel keyset.", st.CertsRejected)
 
-	writeLatencyHistogram(&p, st.Latency)
+	writeLatencyHistogram(&p, "rationality_request_duration_seconds",
+		"End-to-end request latency, from the service's lock-free log2 histogram (bucket i spans up to 2^(i+1)-1 ns).",
+		st.Latency)
+	// Min/Max are exact observed bounds the histogram's resolution cannot
+	// carry; exposed as companion gauges.
+	p.family("rationality_request_duration_min_seconds", "Smallest observed request latency (0 until the first request completes).", "gauge")
+	p.sample("rationality_request_duration_min_seconds", nil, formatSeconds(st.Latency.Min.Seconds()))
+	p.family("rationality_request_duration_max_seconds", "Largest observed request latency.", "gauge")
+	p.sample("rationality_request_duration_max_seconds", nil, formatSeconds(st.Latency.Max.Seconds()))
+
+	// Streaming: stream count plus the time-to-first-verdict histogram —
+	// the latency streaming exists to flatten.
+	p.counter("rationality_streams_total", "VerifyStream exchanges started (admitted past the batch class).", st.Streams)
+	writeLatencyHistogram(&p, "rationality_stream_first_verdict_seconds",
+		"Time from stream admission to the first emitted verdict, per stream.",
+		st.StreamTTFV)
+
+	writeAdmission(&p, st.Admission)
 
 	if ps := st.Persistence; ps != nil {
 		p.counter("rationality_store_persisted_total", "Records appended to the durable verdict log since open.", ps.Persisted)
@@ -325,19 +342,18 @@ func writeSyncPeers(p *promWriter, peers []service.SyncPeerStats) {
 	}
 }
 
-// writeLatencyHistogram renders the log2 latency summary as a native
-// Prometheus histogram. The service's buckets count requests with
-// floor(log2(latency_ns)) == i, so bucket i's inclusive upper bound is
-// 2^(i+1)-1 ns — already a cumulative-friendly partition: `le` for bucket
-// i is that bound in seconds and the counts accumulate across the full
-// LatencyBuckets range (the summary ships a trimmed slice; the tail is
-// zeros by construction). The +Inf bucket and _count are both the
-// histogram's own total, so the exposition is self-consistent even when a
-// racing snapshot caught Count a hair apart from the bucket sum; _sum is
-// the summary's Total.
-func writeLatencyHistogram(p *promWriter, lat service.LatencySummary) {
-	const name = "rationality_request_duration_seconds"
-	p.family(name, "End-to-end request latency, from the service's lock-free log2 histogram (bucket i spans up to 2^(i+1)-1 ns).", "histogram")
+// writeLatencyHistogram renders a log2 latency summary as a native
+// Prometheus histogram under the given family name. The service's
+// buckets count observations with floor(log2(ns)) == i, so bucket i's
+// inclusive upper bound is 2^(i+1)-1 ns — already a cumulative-friendly
+// partition: `le` for bucket i is that bound in seconds and the counts
+// accumulate across the full LatencyBuckets range (the summary ships a
+// trimmed slice; the tail is zeros by construction). The +Inf bucket and
+// _count are both the histogram's own total, so the exposition is
+// self-consistent even when a racing snapshot caught Count a hair apart
+// from the bucket sum; _sum is the summary's Total.
+func writeLatencyHistogram(p *promWriter, name, help string, lat service.LatencySummary) {
+	p.family(name, help, "histogram")
 	var cum uint64
 	for i := 0; i < service.LatencyBuckets; i++ {
 		if i < len(lat.Buckets) {
@@ -349,13 +365,42 @@ func writeLatencyHistogram(p *promWriter, lat service.LatencySummary) {
 	p.sample(name+"_bucket", []promLabel{{"le", "+Inf"}}, formatUint(cum))
 	p.sample(name+"_sum", nil, formatSeconds(lat.Total.Seconds()))
 	p.sample(name+"_count", nil, formatUint(cum))
+}
 
-	// Min/Max are exact observed bounds the histogram's resolution cannot
-	// carry; exposed as companion gauges.
-	p.family("rationality_request_duration_min_seconds", "Smallest observed request latency (0 until the first request completes).", "gauge")
-	p.sample("rationality_request_duration_min_seconds", nil, formatSeconds(lat.Min.Seconds()))
-	p.family("rationality_request_duration_max_seconds", "Largest observed request latency.", "gauge")
-	p.sample("rationality_request_duration_max_seconds", nil, formatSeconds(lat.Max.Seconds()))
+// writeAdmission renders the two-tier admission controller's per-class
+// counters and configured budgets, labeled by class. Absent entirely
+// when no admission budget is configured (the controller is off).
+func writeAdmission(p *promWriter, adm *service.AdmissionStats) {
+	if adm == nil {
+		return
+	}
+	classes := []struct {
+		name string
+		c    service.ClassAdmissionStats
+	}{
+		{string(service.ClassInteractive), adm.Interactive},
+		{string(service.ClassBatch), adm.Batch},
+	}
+	p.family("rationality_admission_admitted_total", "Admission-controller decisions that admitted the request (a whole batch or stream counts once), by class.", "counter")
+	for _, cl := range classes {
+		p.sample("rationality_admission_admitted_total", []promLabel{{"class", cl.name}}, formatUint(cl.c.Admitted))
+	}
+	p.family("rationality_admission_shed_total", "Requests refused with 'admission rejected', by class; the batch class always saturates first.", "counter")
+	for _, cl := range classes {
+		p.sample("rationality_admission_shed_total", []promLabel{{"class", cl.name}}, formatUint(cl.c.Shed))
+	}
+	p.family("rationality_admission_shed_items_total", "Verification items inside shed requests, by class (a shed N-item batch counts N).", "counter")
+	for _, cl := range classes {
+		p.sample("rationality_admission_shed_items_total", []promLabel{{"class", cl.name}}, formatUint(cl.c.ShedItems))
+	}
+	p.family("rationality_admission_rate", "Configured sustained admission rate in items per second, by class (0 means unlimited).", "gauge")
+	for _, cl := range classes {
+		p.sample("rationality_admission_rate", []promLabel{{"class", cl.name}}, formatSeconds(cl.c.Rate))
+	}
+	p.family("rationality_admission_burst", "Configured admission burst in items, by class.", "gauge")
+	for _, cl := range classes {
+		p.sample("rationality_admission_burst", []promLabel{{"class", cl.name}}, strconv.Itoa(cl.c.Burst))
+	}
 }
 
 // WriteReadyMetrics renders the readiness latch as metrics:

@@ -70,6 +70,22 @@ func fixtureStats() service.Stats {
 		ShardEntries:      []int{2, 1, 0, 2},
 		Workers:           4,
 		Latency:           lat,
+		Streams:           5,
+		StreamTTFV: service.LatencySummary{
+			Count:   5,
+			Mean:    40_000 * time.Nanosecond,
+			Total:   200_000 * time.Nanosecond,
+			Min:     10_000 * time.Nanosecond,
+			Max:     120_000 * time.Nanosecond,
+			P50:     32_767 * time.Nanosecond,
+			P95:     131_071 * time.Nanosecond,
+			P99:     131_071 * time.Nanosecond,
+			Buckets: []uint64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 2},
+		},
+		Admission: &service.AdmissionStats{
+			Interactive: service.ClassAdmissionStats{Admitted: 95, Shed: 2, ShedItems: 2, Rate: 200, Burst: 400},
+			Batch:       service.ClassAdmissionStats{Admitted: 4, Shed: 3, ShedItems: 6000, Rate: 500, Burst: 1000},
+		},
 		Persistence: &store.Stats{
 			Persisted:        30,
 			Replayed:         5,

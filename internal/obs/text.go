@@ -28,6 +28,18 @@ func WriteText(w io.Writer, st service.Stats) {
 		fmt.Fprintf(w, "latency: p50<=%s p95<=%s p99<=%s (log2-bucket estimates)\n",
 			st.Latency.P50, st.Latency.P95, st.Latency.P99)
 	}
+	if st.Streams > 0 {
+		fmt.Fprintf(w, "streams: n=%d ttfv mean=%s max=%s\n",
+			st.Streams, st.StreamTTFV.Mean, st.StreamTTFV.Max)
+		fmt.Fprintf(w, "streams: ttfv p50<=%s p95<=%s p99<=%s (log2-bucket estimates)\n",
+			st.StreamTTFV.P50, st.StreamTTFV.P95, st.StreamTTFV.P99)
+	}
+	if a := st.Admission; a != nil {
+		fmt.Fprintf(w, "admission: interactive admitted=%d shed=%d shedItems=%d rate=%g burst=%d\n",
+			a.Interactive.Admitted, a.Interactive.Shed, a.Interactive.ShedItems, a.Interactive.Rate, a.Interactive.Burst)
+		fmt.Fprintf(w, "admission: batch admitted=%d shed=%d shedItems=%d rate=%g burst=%d\n",
+			a.Batch.Admitted, a.Batch.Shed, a.Batch.ShedItems, a.Batch.Rate, a.Batch.Burst)
+	}
 	if p := st.Persistence; p != nil {
 		fmt.Fprintf(w, "persistence: persisted=%d replayed=%d ingested=%d dropped=%d failed=%d live=%d garbage=%d\n",
 			p.Persisted, p.Replayed, p.Ingested, p.Dropped, p.Failed, p.LiveRecords, p.GarbageRecords)

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rationality/internal/transport"
+)
+
+// FuzzStreamWireJSON fuzzes the verify-stream wire surface end to end:
+// arbitrary bytes are decoded as a transport envelope and then as each
+// payload the streaming exchange carries (BatchVerifyRequest in,
+// StreamVerdict / StreamTrailer / BatchVerifyResponse out). Every decoded
+// value must re-marshal — a server must never be able to produce, nor a
+// client be wedged by, a frame the codec cannot round-trip.
+func FuzzStreamWireJSON(f *testing.F) {
+	f.Add([]byte(`{"type":"verify-stream","payload":{"announcements":[{"inventorId":"a","format":"f/v1","game":{},"advice":{}}]}}`))
+	f.Add([]byte(`{"type":"stream-verdict","payload":{"index":3,"verdict":{"accepted":true,"format":"f/v1"}}}`))
+	f.Add([]byte(`{"type":"stream-verdict","payload":{"index":0,"verdict":{"accepted":false},"certificate":{"key":"00","sigs":[]}}}`))
+	f.Add([]byte(`{"type":"stream-trailer","payload":{"verifierId":"v","items":2,"delivered":1,"truncated":true,"reason":"closed"},"last":true}`))
+	f.Add([]byte(`{"type":"verify-batch","payload":{"announcements":[]}}`))
+	f.Add([]byte(`{"type":"batch-verdicts","payload":{"partial":true,"done":1,"total":2,"error":"context canceled"}}`))
+	f.Add([]byte(`{"payload":{"index":-1}}`))
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m transport.Message
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		if len(m.Payload) == 0 {
+			return
+		}
+		reencode := func(v any) {
+			if _, err := json.Marshal(v); err != nil {
+				t.Fatalf("decoded %T failed to re-marshal: %v (payload %q)", v, err, m.Payload)
+			}
+		}
+		var br BatchVerifyRequest
+		if err := m.Decode(&br); err == nil {
+			reencode(br)
+		}
+		var sv StreamVerdict
+		if err := m.Decode(&sv); err == nil {
+			reencode(sv)
+		}
+		var tr StreamTrailer
+		if err := m.Decode(&tr); err == nil {
+			reencode(tr)
+		}
+		var resp BatchVerifyResponse
+		if err := m.Decode(&resp); err == nil {
+			reencode(resp)
+		}
+	})
+}

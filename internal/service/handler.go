@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"rationality/internal/core"
@@ -170,9 +171,19 @@ type BatchVerifyRequest struct {
 }
 
 // BatchVerifyResponse returns one verdict per announcement, in order.
+// A batch interrupted mid-flight (cancellation, shutdown) still returns
+// the verdicts that completed: Partial is set, Verdicts holds the Done
+// completed verdicts, and Error names the cause — matching the streaming
+// exchange's keep-what-finished semantics.
 type BatchVerifyResponse struct {
 	VerifierID string         `json:"verifierId"`
 	Verdicts   []core.Verdict `json:"verdicts"`
+	// Partial reports a truncated batch: only Done of Total items
+	// completed before the interruption named by Error.
+	Partial bool   `json:"partial,omitempty"`
+	Done    int    `json:"done,omitempty"`
+	Total   int    `json:"total,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // StatsResponse is the service's operational snapshot on the wire.
@@ -209,13 +220,20 @@ func (s *Service) Handle(ctx context.Context, req transport.Message) (transport.
 			return transport.Message{}, err
 		}
 		verdicts, err := s.VerifyBatch(ctx, br.Announcements)
-		if err != nil {
+		var partial *PartialBatchError
+		if err != nil && !errors.As(err, &partial) {
 			return transport.Message{}, err
 		}
-		return transport.NewMessage("batch-verdicts", BatchVerifyResponse{
-			VerifierID: s.id,
-			Verdicts:   verdicts,
-		})
+		resp := BatchVerifyResponse{VerifierID: s.id, Verdicts: verdicts}
+		if partial != nil {
+			// Completed work crosses the wire even when the batch was cut
+			// short; the client decides what a partial batch is worth.
+			resp.Partial = true
+			resp.Done = partial.Done
+			resp.Total = partial.Total
+			resp.Error = partial.Cause.Error()
+		}
+		return transport.NewMessage("batch-verdicts", resp)
 	case MsgServiceStats:
 		return transport.NewMessage("stats", StatsResponse{VerifierID: s.id, Stats: s.Stats()})
 	case MsgCoSign:

@@ -57,11 +57,45 @@ type metrics struct {
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 
-	latCount atomic.Uint64
-	latTotal atomic.Int64 // nanoseconds
-	latMin   atomic.Int64 // nanoseconds; 0 = unset
-	latMax   atomic.Int64 // nanoseconds
-	latHist  [latencyBuckets]atomic.Uint64
+	// streams counts VerifyStream exchanges; ttfv records each stream's
+	// time-to-first-verdict — the latency streaming exists to shrink.
+	streams atomic.Uint64
+	ttfv    latencyRecorder
+
+	lat latencyRecorder
+}
+
+// latencyRecorder is one lock-free latency aggregate: count, sum, the
+// min/max gauges and the fixed log2 histogram. The request path and the
+// stream time-to-first-verdict metric each own one.
+type latencyRecorder struct {
+	count atomic.Uint64
+	total atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; 0 = unset
+	max   atomic.Int64 // nanoseconds
+	hist  [latencyBuckets]atomic.Uint64
+}
+
+// observe records one latency sample. Lock-free.
+func (r *latencyRecorder) observe(ns int64) {
+	if ns < 1 {
+		ns = 1 // clamp: 0 is the min gauge's "unset" sentinel
+	}
+	r.count.Add(1)
+	r.total.Add(ns)
+	r.hist[latencyBucket(ns)].Add(1)
+	for {
+		cur := r.min.Load()
+		if (cur != 0 && ns >= cur) || r.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := r.max.Load()
+		if ns <= cur || r.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
 }
 
 // latencyBucket maps an observed latency to its histogram bucket.
@@ -115,25 +149,7 @@ func (m *metrics) begin() time.Time {
 // end records a completed request and its latency. Lock-free.
 func (m *metrics) end(start time.Time) {
 	m.inFlight.Add(-1)
-	ns := time.Since(start).Nanoseconds()
-	if ns < 1 {
-		ns = 1 // clamp: 0 is the min gauge's "unset" sentinel
-	}
-	m.latCount.Add(1)
-	m.latTotal.Add(ns)
-	m.latHist[latencyBucket(ns)].Add(1)
-	for {
-		cur := m.latMin.Load()
-		if (cur != 0 && ns >= cur) || m.latMin.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
-	for {
-		cur := m.latMax.Load()
-		if ns <= cur || m.latMax.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
+	m.lat.observe(time.Since(start).Nanoseconds())
 }
 
 // LatencySummary describes the observed request latencies. Percentiles are
@@ -225,6 +241,18 @@ type Stats struct {
 	Workers      int   `json:"workers"`
 	// Latency summarizes end-to-end request latencies.
 	Latency LatencySummary `json:"latency"`
+	// Streams counts VerifyStream exchanges (a streamed batch is one
+	// stream; its items still count into Requests one by one).
+	Streams uint64 `json:"streams,omitempty"`
+	// StreamTTFV summarizes each stream's time-to-first-verdict: how long
+	// the first frame took to leave, measured from stream admission. This
+	// is the latency streaming exists to flatten — it should track a
+	// single verification, not the batch size.
+	StreamTTFV LatencySummary `json:"streamTtfv"`
+	// Admission reports the two-tier admission controller's per-class
+	// counters and configured budgets; nil when admission is unlimited
+	// (no AdmissionConfig rate set).
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Persistence reports the durable verdict store's counters —
 	// persisted/replayed/compacted records, queue drops, salvage — and
 	// is nil when persistence is disabled (no Config.PersistPath).
@@ -283,34 +311,36 @@ func (m *metrics) snapshot(shardLens []int, shardCount, workers int) Stats {
 		ShardEntries:      shardLens,
 		Workers:           workers,
 	}
-	s.Latency = m.latencySummary()
+	s.Latency = m.lat.summary()
+	s.Streams = m.streams.Load()
+	s.StreamTTFV = m.ttfv.summary()
 	return s
 }
 
-// latencySummary snapshots the histogram and derives the percentile
+// summary snapshots the recorder's histogram and derives the percentile
 // estimates from the bucket counts.
-func (m *metrics) latencySummary() LatencySummary {
+func (r *latencyRecorder) summary() LatencySummary {
 	// Count gates everything else: the gauges are updated by separate
-	// atomics after latCount, so a snapshot racing the very first request
-	// can observe latMin already set while latCount still reads 0. An
+	// atomics after count, so a snapshot racing the very first sample
+	// can observe min already set while count still reads 0. An
 	// all-zero summary is the only self-consistent answer then — a
 	// "Min > 0, Count == 0" summary would read as corrupted counters.
-	count := m.latCount.Load()
+	count := r.count.Load()
 	if count == 0 {
 		return LatencySummary{}
 	}
 	sum := LatencySummary{
 		Count: count,
-		Total: time.Duration(m.latTotal.Load()),
-		Min:   time.Duration(m.latMin.Load()),
-		Max:   time.Duration(m.latMax.Load()),
+		Total: time.Duration(r.total.Load()),
+		Min:   time.Duration(r.min.Load()),
+		Max:   time.Duration(r.max.Load()),
 	}
 	sum.Mean = sum.Total / time.Duration(count)
 	buckets := make([]uint64, latencyBuckets)
 	var total uint64
 	last := -1 // highest populated bucket, for the trailing-zero trim
-	for i := range m.latHist {
-		buckets[i] = m.latHist[i].Load()
+	for i := range r.hist {
+		buckets[i] = r.hist[i].Load()
 		total += buckets[i]
 		if buckets[i] != 0 {
 			last = i

@@ -13,11 +13,11 @@ import (
 // back wholly zero — "Min > 0, Count == 0" would read as corruption.
 func TestLatencySummaryTornSnapshot(t *testing.T) {
 	var m metrics
-	m.latMin.Store(1500)
-	m.latMax.Store(1500)
-	m.latHist[latencyBucket(1500)].Add(1)
+	m.lat.min.Store(1500)
+	m.lat.max.Store(1500)
+	m.lat.hist[latencyBucket(1500)].Add(1)
 	// latCount deliberately left at 0: the reader won the race.
-	sum := m.latencySummary()
+	sum := m.lat.summary()
 	if sum.Count != 0 || sum.Min != 0 || sum.Max != 0 || sum.Total != 0 || sum.Buckets != nil {
 		t.Fatalf("torn snapshot leaked partial state: %+v", sum)
 	}
@@ -29,13 +29,13 @@ func TestLatencySummaryTornSnapshot(t *testing.T) {
 func TestLatencyBucketsTrimmed(t *testing.T) {
 	var m metrics
 	for _, ns := range []int64{900, 1100, 1_000_000} {
-		m.latCount.Add(1)
-		m.latTotal.Add(ns)
-		m.latHist[latencyBucket(ns)].Add(1)
+		m.lat.count.Add(1)
+		m.lat.total.Add(ns)
+		m.lat.hist[latencyBucket(ns)].Add(1)
 	}
-	m.latMin.Store(900)
-	m.latMax.Store(1_000_000)
-	sum := m.latencySummary()
+	m.lat.min.Store(900)
+	m.lat.max.Store(1_000_000)
+	sum := m.lat.summary()
 	wantLen := latencyBucket(1_000_000) + 1
 	if len(sum.Buckets) != wantLen {
 		t.Fatalf("Buckets length = %d, want trimmed to %d (highest populated bucket + 1)", len(sum.Buckets), wantLen)
@@ -63,13 +63,13 @@ func TestLatencyBucketsTrimmed(t *testing.T) {
 func TestLatencySummaryTotal(t *testing.T) {
 	var m metrics
 	for _, ns := range []int64{1000, 3000} {
-		m.latCount.Add(1)
-		m.latTotal.Add(ns)
-		m.latHist[latencyBucket(ns)].Add(1)
+		m.lat.count.Add(1)
+		m.lat.total.Add(ns)
+		m.lat.hist[latencyBucket(ns)].Add(1)
 	}
-	m.latMin.Store(1000)
-	m.latMax.Store(3000)
-	sum := m.latencySummary()
+	m.lat.min.Store(1000)
+	m.lat.max.Store(3000)
+	sum := m.lat.summary()
 	if sum.Total != 4000*time.Nanosecond {
 		t.Fatalf("Total = %v, want 4µs", sum.Total)
 	}

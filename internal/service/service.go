@@ -139,6 +139,13 @@ type Config struct {
 	// sampling decisions reproducible (the sync and gossip loops take
 	// their own seeds in SyncerConfig / GossiperConfig).
 	Seed int64
+	// Admission configures the two-tier admission controller: interactive
+	// requests (Verify/VerifyAnnouncement) and batch requests
+	// (VerifyBatch/VerifyStream) draw from per-class token buckets, and
+	// the interactive tier borrows from the batch budget under pressure,
+	// so batch traffic is shed strictly first. The zero value disables
+	// admission control (every request admitted, Stats.Admission nil).
+	Admission AdmissionConfig
 }
 
 // Service is a concurrent, cached verification authority. It is safe for
@@ -151,6 +158,10 @@ type Service struct {
 	metrics metrics
 	rep     *reputation.Registry
 	workers int
+
+	// admission, when non-nil, is the two-tier token-bucket gate charged
+	// before any verification work is queued (Config.Admission).
+	admission *admissionController
 
 	// fed, when non-nil, is the federation trust layer: signing key,
 	// peer allowlist, and per-peer acceptance/rejection counters.
@@ -253,6 +264,7 @@ func New(cfg Config) (*Service, error) {
 		execs:   make(chan func()),
 		drained: make(chan struct{}),
 	}
+	s.admission = newAdmissionController(cfg.Admission)
 	fed, err := newFederation(cfg.Key, cfg.PeerKeys)
 	if err != nil {
 		return nil, err
@@ -436,6 +448,9 @@ func (s *Service) Stats() Stats {
 		st.Federation.RejectedQuarantined = s.metrics.rejectedQuarantined.Load()
 		st.Federation.Quarantined = s.trust.Quarantined()
 	}
+	if s.admission != nil {
+		st.Admission = s.admission.snapshot()
+	}
 	if y := s.syncer.Load(); y != nil {
 		st.SyncPeers = y.Snapshot()
 	}
@@ -461,18 +476,49 @@ func (s *Service) VerifyAnnouncement(ctx context.Context, ann core.Announcement)
 	return s.verify(ctx, ann.InventorID, ann.Format, ann.Game, ann.Advice, ann.Proof)
 }
 
+// PartialBatchError reports a batch (or stream) cut short by an
+// infrastructure failure — cancelled context or service shutdown — after
+// some items already completed. VerifyBatch returns it alongside the
+// verdict slice, in which the first Done items (in completion order, not
+// necessarily input order — see VerifyBatch) are real verdicts; the rest
+// of the work was never run. errors.Is sees through it to the cause, so
+// callers checking context.Canceled keep working.
+type PartialBatchError struct {
+	// Done is how many verdicts completed before the cut; Total is the
+	// batch size requested.
+	Done, Total int
+	// Cause is the infrastructure error that stopped the batch.
+	Cause error
+}
+
+// Error implements error.
+func (e *PartialBatchError) Error() string {
+	return fmt.Sprintf("service: batch interrupted after %d/%d verdicts: %v", e.Done, e.Total, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PartialBatchError) Unwrap() error { return e.Cause }
+
 // VerifyBatch fans the announcements across the shared worker pool and
 // returns one verdict per announcement, in input order. Items whose inputs
 // cannot be verified (e.g. an unknown proof format) appear as rejection
-// verdicts carrying the reason, so the slice always aligns with the input;
-// an infrastructure failure (cancelled context, service shutdown) fails
-// the whole batch with an error instead of masquerading as rejections.
-// Every item is dispatched as one pool job — batch length is
-// wire-controlled, so it must not translate into goroutines — and the
-// submit loop applies natural backpressure: it blocks while all workers
-// are busy. A started batch counts as one in-flight request: Close waits
-// for it to finish.
+// verdicts carrying the reason, so the slice always aligns with the input.
+// An infrastructure failure (cancelled context, service shutdown) does not
+// discard finished work: the call returns the verdicts completed so far —
+// compacted to the front of the returned slice, in input order — together
+// with a *PartialBatchError carrying the completed count and the cause,
+// matching the per-item semantics of VerifyStream. Every item is
+// dispatched as one pool job — batch length is wire-controlled, so it must
+// not translate into goroutines — and the submit loop applies natural
+// backpressure: it blocks while all workers are busy. A started batch
+// counts as one in-flight request: Close waits for it to finish. Batches
+// are charged to the batch admission class as one token per item.
 func (s *Service) VerifyBatch(ctx context.Context, anns []core.Announcement) ([]core.Verdict, error) {
+	if s.admission != nil {
+		if err := s.admission.admit(ClassBatch, len(anns)); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.acquire(); err != nil {
 		s.metrics.failures.Add(1)
 		return nil, err
@@ -494,11 +540,16 @@ func (s *Service) VerifyBatch(ctx context.Context, anns []core.Announcement) ([]
 		}
 		errMu.Unlock()
 	}
+	// done flags which slots hold a completed verdict; written by the
+	// worker that filled the slot, read only after wg.Wait() joins every
+	// dispatched job.
+	done := make([]bool, len(anns))
 	var wg sync.WaitGroup
 submit:
 	for i := range anns {
 		ann := &anns[i]
 		out := &verdicts[i]
+		completed := &done[i]
 		wg.Add(1)
 		job := func() {
 			defer wg.Done()
@@ -506,10 +557,12 @@ submit:
 			switch {
 			case err == nil:
 				*out = *v
+				*completed = true
 			case isContextError(err) || errors.Is(err, ErrServiceClosed):
 				setErr(err)
 			default:
 				*out = core.Verdict{Format: ann.Format, Reason: err.Error()}
+				*completed = true
 			}
 		}
 		select {
@@ -521,11 +574,25 @@ submit:
 		}
 	}
 	wg.Wait()
-	if batchErr != nil {
-		return nil, batchErr
+	if batchErr == nil {
+		return verdicts, nil
 	}
-	return verdicts, nil
+	// Partial completion: keep what finished instead of discarding paid-for
+	// work. Compact the completed verdicts to the front (input order is
+	// preserved among them) and report how many there are.
+	n := 0
+	for i := range verdicts {
+		if done[i] {
+			verdicts[n] = verdicts[i]
+			n++
+		}
+	}
+	return verdicts[:n], &PartialBatchError{Done: n, Total: len(anns), Cause: batchErr}
 }
+
+// closing reports whether Close has flagged the service; in-flight work
+// may still be draining.
+func (s *Service) closing() bool { return s.state.Load()&stateClosed != 0 }
 
 // verifyItem runs one batch item on the pool worker it was dispatched to.
 // The batch's in-flight registration covers it, so the pool stays alive
@@ -601,6 +668,14 @@ func (s *Service) release() {
 // verify is the single-request path: drain registration, then
 // verifyRegistered.
 func (s *Service) verify(ctx context.Context, inventorID, format string, gameSpec, advice, proofBody json.RawMessage) (*core.Verdict, error) {
+	if s.admission != nil {
+		// Admission refusals happen before the request is counted at all:
+		// Requests (and the hit/miss partition under it) keeps meaning
+		// admitted verifications, and sheds are visible in Stats.Admission.
+		if err := s.admission.admit(ClassInteractive, 1); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.acquire(); err != nil {
 		// Refusals count only as failures: Requests is single-sourced in
 		// metrics.begin and counts admitted verifications, so the

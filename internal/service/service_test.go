@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -485,7 +486,7 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
-func TestVerifyBatchCancelledFailsWholeBatch(t *testing.T) {
+func TestVerifyBatchCancelledKeepsCompletedVerdicts(t *testing.T) {
 	proc := &countingProc{format: "counting/v1", accept: true, gate: make(chan struct{})}
 	s := newTestService(t, Config{Workers: 1, CacheSize: -1})
 	s.Register(proc)
@@ -510,14 +511,88 @@ func TestVerifyBatchCancelledFailsWholeBatch(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	// A cancelled context must fail the batch, not surface as per-item
-	// rejection verdicts that look like failed proofs.
-	_, err := s.VerifyBatch(ctx, []core.Announcement{
+	// A pre-cancelled context interrupts the batch before any item runs:
+	// the error is a PartialBatchError reporting zero completed verdicts,
+	// still errors.Is-matching context.Canceled — cancellation must not
+	// surface as per-item rejection verdicts that look like failed proofs.
+	verdicts, err := s.VerifyBatch(ctx, []core.Announcement{
 		announcementFor("inv", `{"n":1}`),
 		announcementFor("inv", `{"n":2}`),
 	})
-	if err != context.Canceled {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled via errors.Is", err)
+	}
+	var partial *PartialBatchError
+	if !errors.As(err, &partial) {
+		t.Fatalf("err = %T %v, want *PartialBatchError", err, err)
+	}
+	if partial.Done != 0 || partial.Total != 2 {
+		t.Fatalf("partial = %d/%d, want 0/2", partial.Done, partial.Total)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("verdicts = %d, want 0 (nothing ran before the cancel)", len(verdicts))
+	}
+}
+
+func TestVerifyBatchCancelledMidFlightReturnsPartialVerdicts(t *testing.T) {
+	proc := &countingProc{format: "counting/v1", accept: true, gate: make(chan struct{})}
+	s := newTestService(t, Config{Workers: 1, CacheSize: -1})
+	s.Register(proc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const items = 4
+	anns := make([]core.Announcement, items)
+	for i := range anns {
+		anns[i] = announcementFor("inv", fmt.Sprintf(`{"n":%d}`, i))
+	}
+	// Let exactly one item through, then cancel while the single worker
+	// holds the next item at the gate and the submit loop is blocked
+	// dispatching the one after: completed work must survive the cancel.
+	done := make(chan struct{})
+	var verdicts []core.Verdict
+	var err error
+	go func() {
+		defer close(done)
+		verdicts, err = s.VerifyBatch(ctx, anns)
+	}()
+	proc.gate <- struct{}{} // releases the first item once it reaches the gate
+	deadline := time.After(5 * time.Second)
+	for proc.calls.Load() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("second batch item never reached the worker")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	close(proc.gate) // release the in-flight item; the rest never ran
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled batch never returned")
+	}
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled via errors.Is", err)
+	}
+	var partial *PartialBatchError
+	if !errors.As(err, &partial) {
+		t.Fatalf("err = %T %v, want *PartialBatchError", err, err)
+	}
+	if partial.Total != items {
+		t.Fatalf("partial.Total = %d, want %d", partial.Total, items)
+	}
+	if partial.Done == 0 || partial.Done >= items {
+		t.Fatalf("partial.Done = %d, want mid-batch truncation (0 < done < %d)", partial.Done, items)
+	}
+	if len(verdicts) != partial.Done {
+		t.Fatalf("len(verdicts) = %d, want partial.Done = %d", len(verdicts), partial.Done)
+	}
+	for i, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("verdict %d not accepted: %+v", i, v)
+		}
 	}
 }
 

@@ -1,0 +1,301 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rationality/internal/core"
+	"rationality/internal/identity"
+	"rationality/internal/transport"
+)
+
+// Wire message types of the streaming batch exchange.
+const (
+	// MsgVerifyStream: agent → service. Payload BatchVerifyRequest; the
+	// reply is a stream — one MsgStreamVerdict frame per item as workers
+	// finish, terminated by a MsgStreamTrailer frame (transport Last flag
+	// set) with the aggregate stats. Time-to-first-verdict is therefore
+	// one verification, not the whole batch.
+	MsgVerifyStream = "verify-stream"
+	// MsgStreamVerdict is one per-item frame of a verify-stream reply;
+	// payload StreamVerdict.
+	MsgStreamVerdict = "stream-verdict"
+	// MsgStreamTrailer is the terminal frame of a verify-stream reply;
+	// payload StreamTrailer.
+	MsgStreamTrailer = "stream-trailer"
+)
+
+// StreamVerdict is one streamed item result: which input it answers, the
+// verdict, and — when this authority holds one — the item's quorum
+// certificate, so a streaming client gets offline-verifiable results
+// without a follow-up cert-get per item.
+type StreamVerdict struct {
+	// Index is the item's position in the requested batch. Frames arrive
+	// in completion order, not input order.
+	Index   int          `json:"index"`
+	Verdict core.Verdict `json:"verdict"`
+	// Certificate is the cached quorum certificate for this verdict, if
+	// any (certificate-if-cached: the stream never waits on a panel).
+	Certificate *core.Certificate `json:"certificate,omitempty"`
+}
+
+// StreamTrailer terminates a verify-stream reply with the aggregate view
+// of the exchange.
+type StreamTrailer struct {
+	VerifierID string `json:"verifierId"`
+	// Items is the batch size requested; Delivered counts the verdict
+	// frames actually emitted before the trailer.
+	Items     int `json:"items"`
+	Delivered int `json:"delivered"`
+	// Accepted / Rejected partition the delivered verdicts.
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	// Truncated reports that the stream ended before every item was
+	// verified (cancellation or shutdown); Reason says why.
+	Truncated bool   `json:"truncated,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	// Elapsed is the stream's total service time; FirstVerdict is its
+	// time-to-first-verdict — the number streaming exists to flatten.
+	Elapsed      time.Duration `json:"elapsed"`
+	FirstVerdict time.Duration `json:"firstVerdict,omitempty"`
+}
+
+// streamResult carries one finished item from a pool worker to the
+// emitter; skip marks items that hit an infrastructure error (recorded
+// separately) and have nothing to emit.
+type streamResult struct {
+	sv   StreamVerdict
+	skip bool
+}
+
+// VerifyStream fans the announcements across the shared worker pool and
+// calls emit once per completed item, in completion order, so the caller
+// sees the first verdict after roughly one verification no matter how
+// long the batch is. emit runs on the calling goroutine, serialized; an
+// emit error aborts the stream (remaining work is cancelled and drained)
+// and is returned. Infrastructure failures — cancelled context, service
+// shutdown — stop submission but never discard finished work: completed
+// items are still emitted and the returned trailer reports Truncated
+// with the cause in Reason. The whole stream counts as one in-flight
+// request (Close waits for it) and is charged to the batch admission
+// class as one token per item.
+func (s *Service) VerifyStream(ctx context.Context, anns []core.Announcement, emit func(StreamVerdict) error) (StreamTrailer, error) {
+	if s.admission != nil {
+		if err := s.admission.admit(ClassBatch, len(anns)); err != nil {
+			return StreamTrailer{}, err
+		}
+	}
+	if err := s.acquire(); err != nil {
+		s.metrics.failures.Add(1)
+		return StreamTrailer{}, err
+	}
+	defer s.release()
+	s.metrics.streams.Add(1)
+	s.metrics.batches.Add(1)
+	start := time.Now()
+	tr := StreamTrailer{VerifierID: s.id, Items: len(anns)}
+	if len(anns) == 0 {
+		tr.Elapsed = time.Since(start)
+		return tr, nil
+	}
+
+	var (
+		infraMu  sync.Mutex
+		infraErr error
+	)
+	setInfra := func(err error) {
+		infraMu.Lock()
+		if infraErr == nil {
+			infraErr = err
+		}
+		infraMu.Unlock()
+	}
+	// results is drained by this goroutine until closed, so workers never
+	// block on it longer than one emit; abort stops the submitter early
+	// when emitting fails (the connection is gone — finishing the batch
+	// would be work nobody reads).
+	results := make(chan streamResult, s.workers)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	submitted := make(chan struct{})
+	go func() {
+		defer close(submitted)
+		for i := range anns {
+			if err := ctx.Err(); err != nil {
+				setInfra(err)
+				return
+			}
+			if s.closing() {
+				setInfra(ErrServiceClosed)
+				return
+			}
+			select {
+			case <-abort:
+				return
+			default:
+			}
+			ann := &anns[i]
+			idx := i
+			wg.Add(1)
+			job := func() {
+				defer wg.Done()
+				v, err := s.verifyItem(ctx, ann)
+				r := streamResult{}
+				switch {
+				case err == nil:
+					r.sv = StreamVerdict{Index: idx, Verdict: *v, Certificate: s.cachedCertificate(ann)}
+				case isContextError(err) || errors.Is(err, ErrServiceClosed):
+					setInfra(err)
+					r.skip = true
+				default:
+					r.sv = StreamVerdict{Index: idx, Verdict: core.Verdict{Format: ann.Format, Reason: err.Error()}}
+				}
+				results <- r
+			}
+			select {
+			case s.jobs <- job:
+			case <-ctx.Done():
+				wg.Done()
+				setInfra(ctx.Err())
+				return
+			case <-abort:
+				wg.Done()
+				return
+			}
+		}
+	}()
+	go func() {
+		<-submitted
+		wg.Wait()
+		close(results)
+	}()
+
+	var emitErr error
+	for r := range results {
+		if r.skip || emitErr != nil {
+			continue // drain so no worker blocks on a dead stream
+		}
+		if tr.Delivered == 0 {
+			tr.FirstVerdict = time.Since(start)
+			s.metrics.ttfv.observe(tr.FirstVerdict.Nanoseconds())
+		}
+		if err := emit(r.sv); err != nil {
+			emitErr = err
+			abortOnce.Do(func() { close(abort) })
+			continue
+		}
+		tr.Delivered++
+		if r.sv.Verdict.Accepted {
+			tr.Accepted++
+		} else {
+			tr.Rejected++
+		}
+	}
+	tr.Elapsed = time.Since(start)
+	if emitErr != nil {
+		return tr, fmt.Errorf("service: stream emit: %w", emitErr)
+	}
+	infraMu.Lock()
+	cause := infraErr
+	infraMu.Unlock()
+	if cause != nil {
+		tr.Truncated = true
+		tr.Reason = cause.Error()
+	} else if tr.Delivered < tr.Items {
+		tr.Truncated = true
+	}
+	return tr, nil
+}
+
+// cachedCertificate fetches an announcement's quorum certificate from
+// the verdict cache, if one is attached; best-effort — a certificate
+// that fails to decode is simply omitted from the stream frame.
+func (s *Service) cachedCertificate(ann *core.Announcement) *core.Certificate {
+	key := identity.DigestBytes([]byte(ann.Format), ann.Game, ann.Advice, ann.Proof)
+	raw, ok := s.cache.Cert(key)
+	if !ok {
+		return nil
+	}
+	cert, err := core.DecodeCertificate(raw)
+	if err != nil {
+		return nil
+	}
+	return cert
+}
+
+// Streams implements transport.StreamHandler: only the verify-stream
+// exchange is served as a frame stream.
+func (s *Service) Streams(msgType string) bool { return msgType == MsgVerifyStream }
+
+// HandleStream implements transport.StreamHandler for MsgVerifyStream:
+// it decodes the batch, runs VerifyStream with each verdict sent as one
+// MsgStreamVerdict frame, and returns the MsgStreamTrailer frame the
+// transport marks terminal.
+func (s *Service) HandleStream(ctx context.Context, req transport.Message, send func(transport.Message) error) (transport.Message, error) {
+	if req.Type != MsgVerifyStream {
+		return transport.Message{}, fmt.Errorf("service: cannot stream %q", req.Type)
+	}
+	var br BatchVerifyRequest
+	if err := req.Decode(&br); err != nil {
+		return transport.Message{}, err
+	}
+	trailer, err := s.VerifyStream(ctx, br.Announcements, func(sv StreamVerdict) error {
+		m, err := transport.NewMessage(MsgStreamVerdict, sv)
+		if err != nil {
+			return err
+		}
+		return send(m)
+	})
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return transport.NewMessage(MsgStreamTrailer, trailer)
+}
+
+// StreamVerify drives one verify-stream exchange as a client: it sends
+// the announcements, calls onVerdict for every streamed frame (in
+// completion order; nil to just count), and returns the trailer. An
+// onVerdict error abandons the stream and is returned.
+func StreamVerify(ctx context.Context, c transport.StreamCaller, anns []core.Announcement, onVerdict func(StreamVerdict) error) (*StreamTrailer, error) {
+	req, err := transport.NewMessage(MsgVerifyStream, BatchVerifyRequest{Announcements: anns})
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.CallStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = st.Close() }()
+	for {
+		m, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch m.Type {
+		case MsgStreamVerdict:
+			var sv StreamVerdict
+			if err := m.Decode(&sv); err != nil {
+				return nil, err
+			}
+			if onVerdict != nil {
+				if err := onVerdict(sv); err != nil {
+					return nil, err
+				}
+			}
+		case MsgStreamTrailer:
+			var tr StreamTrailer
+			if err := m.Decode(&tr); err != nil {
+				return nil, err
+			}
+			return &tr, nil
+		default:
+			return nil, fmt.Errorf("service: unexpected stream frame %q", m.Type)
+		}
+	}
+}
+
+var _ transport.StreamHandler = (*Service)(nil)

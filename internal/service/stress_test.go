@@ -179,20 +179,20 @@ func TestLatencyHistogramPercentiles(t *testing.T) {
 	// 90 fast requests (~1µs) and 10 slow ones (~1ms): p50 must sit in the
 	// microsecond range, p99 in the millisecond range.
 	for i := 0; i < 90; i++ {
-		m.latCount.Add(1)
-		m.latTotal.Add(1000)
-		m.latHist[latencyBucket(1000)].Add(1)
+		m.lat.count.Add(1)
+		m.lat.total.Add(1000)
+		m.lat.hist[latencyBucket(1000)].Add(1)
 	}
 	for i := 0; i < 10; i++ {
-		m.latCount.Add(1)
-		m.latTotal.Add(1_000_000)
-		m.latHist[latencyBucket(1_000_000)].Add(1)
+		m.lat.count.Add(1)
+		m.lat.total.Add(1_000_000)
+		m.lat.hist[latencyBucket(1_000_000)].Add(1)
 	}
-	m.latMin.Store(1000)
-	m.latMax.Store(1_000_000)
+	m.lat.min.Store(1000)
+	m.lat.max.Store(1_000_000)
 	_ = now
 
-	sum := m.latencySummary()
+	sum := m.lat.summary()
 	if sum.Count != 100 {
 		t.Fatalf("count = %d", sum.Count)
 	}

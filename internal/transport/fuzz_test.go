@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMessageCodec throws arbitrary bytes at the wire envelope decoder:
+// whatever json accepts as a Message must survive a re-encode → re-decode
+// round trip bit-for-bit in meaning (type, payload, terminal flag), and
+// the error translation must never panic. This is the codec every
+// exchange — unary and streaming — rides on.
+func FuzzMessageCodec(f *testing.F) {
+	f.Add([]byte(`{"type":"verify","payload":{"n":1}}`))
+	f.Add([]byte(`{"type":"stream-trailer","payload":{"items":3},"last":true}`))
+	f.Add([]byte(`{"type":"error","payload":{"error":"nope"},"last":true}`))
+	f.Add([]byte(`{"type":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // not a message; rejecting is the correct outcome
+		}
+		_ = m.AsError() // must not panic on any decodable envelope
+		encoded, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v (input %q)", err, data)
+		}
+		var back Message
+		if err := json.Unmarshal(encoded, &back); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v (wire %q)", err, encoded)
+		}
+		if back.Type != m.Type || back.Last != m.Last {
+			t.Fatalf("round trip changed the envelope: %+v -> %+v", m, back)
+		}
+		if !jsonEquivalent(m.Payload, back.Payload) {
+			t.Fatalf("round trip changed the payload: %q -> %q", m.Payload, back.Payload)
+		}
+	})
+}
+
+// jsonEquivalent compares two raw payloads structurally (key order and
+// whitespace are not wire contract).
+func jsonEquivalent(a, b json.RawMessage) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(bytes.TrimSpace(a)) == len(bytes.TrimSpace(b))
+	}
+	var av, bv any
+	if err := json.Unmarshal(a, &av); err != nil {
+		return false
+	}
+	if err := json.Unmarshal(b, &bv); err != nil {
+		return false
+	}
+	ra, _ := json.Marshal(av)
+	rb, _ := json.Marshal(bv)
+	return bytes.Equal(ra, rb)
+}

@@ -31,6 +31,10 @@ type PipeNet struct {
 	wg       sync.WaitGroup
 
 	bytes atomic.Uint64
+
+	// streamWriteTimeout bounds each streaming frame write (nanoseconds);
+	// zero means DefaultStreamWriteTimeout, negative disables the bound.
+	streamWriteTimeout atomic.Int64
 }
 
 // NewPipeNet creates an empty in-memory network.
@@ -66,6 +70,21 @@ func (n *PipeNet) Listen(addr string, h Handler) error {
 // BytesOnWire reports the total bytes written across every connection the
 // network has carried, requests and replies both.
 func (n *PipeNet) BytesOnWire() uint64 { return n.bytes.Load() }
+
+// SetStreamWriteTimeout overrides the per-frame write deadline streaming
+// replies are bounded by (DefaultStreamWriteTimeout when unset). A
+// negative duration disables the bound. Safe to call while serving.
+func (n *PipeNet) SetStreamWriteTimeout(d time.Duration) {
+	n.streamWriteTimeout.Store(int64(d))
+}
+
+// streamTimeout resolves the effective per-frame write deadline.
+func (n *PipeNet) streamTimeout() time.Duration {
+	if d := n.streamWriteTimeout.Load(); d != 0 {
+		return time.Duration(d)
+	}
+	return DefaultStreamWriteTimeout
+}
 
 // Dial connects to a listening name and returns a client whose calls run
 // the strict request/response protocol over an in-memory pipe. A broken
@@ -115,6 +134,12 @@ func (n *PipeNet) serveConn(conn net.Conn, h Handler) {
 		var req Message
 		if err := dec.Decode(&req); err != nil {
 			return // client hung up
+		}
+		if sh, ok := h.(StreamHandler); ok && sh.Streams(req.Type) {
+			if err := serveStream(counted, enc, sh, req, n.streamTimeout()); err != nil {
+				return
+			}
+			continue
 		}
 		resp, err := h.Handle(context.Background(), req)
 		if err != nil {
@@ -179,7 +204,63 @@ type PipeClient struct {
 	closed bool
 }
 
-var _ Client = (*PipeClient)(nil)
+var (
+	_ Client       = (*PipeClient)(nil)
+	_ StreamCaller = (*PipeClient)(nil)
+)
+
+// CallStream implements StreamCaller. Each stream runs on its own
+// dedicated pipe (dialed here, torn down when the stream finishes), so
+// unary Calls on this client proceed concurrently with an open stream
+// instead of serializing behind it. The context bounds the exchange
+// through the pipe deadline, exactly as Call does.
+func (c *PipeClient) CallStream(ctx context.Context, req Message) (Stream, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	conn, err := c.net.connect(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	stopWatchdog := func() {}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-ctx.Done():
+				_ = conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		stopWatchdog = func() {
+			close(stop)
+			<-exited
+		}
+	}
+	finish := func(bool) {
+		// The pipe is dedicated to this one stream either way: forget it.
+		stopWatchdog()
+		c.net.forget(conn)
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	if err := enc.Encode(req); err != nil {
+		finish(true)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("transport: sending request: %w", ctxErr)
+		}
+		return nil, fmt.Errorf("transport: sending request: %w", err)
+	}
+	return &clientStream{ctx: ctx, dec: dec, finish: finish}, nil
+}
 
 // connect (re-)establishes the pipe. Callers hold no lock on first use;
 // reconnects happen under c.mu inside Call.

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStreamWriteTimeout bounds how long a streaming server waits for
+// a stalled reader to drain one frame before declaring the connection
+// dead. Unary exchanges are naturally bounded by the client's context;
+// a stream writes many frames to a peer that may have stopped reading,
+// so every frame write carries its own deadline.
+const DefaultStreamWriteTimeout = 30 * time.Second
+
+// ErrStreamDone is returned by Stream.Next after the terminal frame has
+// been delivered (or the stream was closed early).
+var ErrStreamDone = errors.New("transport: stream done")
+
+// Stream is the client's view of one streaming exchange: a sequence of
+// frames ending in a trailer whose Last flag is set. Next returns each
+// frame in order; the frame with Last set is the trailer and the stream
+// is done after it. A server-side failure arrives as an "error"-typed
+// terminal frame translated into the returned error. Streams are not safe
+// for concurrent Next calls, but Close may be called from another
+// goroutine to abort a blocked Next.
+type Stream interface {
+	// Next returns the next frame. After the terminal frame (Last set,
+	// returned with a nil error) further calls return ErrStreamDone.
+	Next() (Message, error)
+	// Close releases the stream. Closing before the terminal frame
+	// abandons the exchange: the underlying connection cannot be reused
+	// and is discarded. Close after the trailer is a no-op.
+	Close() error
+}
+
+// StreamCaller is a Client that can additionally run streaming
+// exchanges. Only message types the server streams (StreamHandler.
+// Streams) may be sent through CallStream: a unary reply to a streamed
+// request has no terminal frame, so Next would block on the second call.
+type StreamCaller interface {
+	Client
+	// CallStream sends a request and returns the reply stream. The
+	// context bounds the whole exchange: cancellation mid-stream expires
+	// the connection deadline, failing the next frame read promptly.
+	CallStream(ctx context.Context, req Message) (Stream, error)
+}
+
+// StreamHandler is a Handler that serves some message types as frame
+// streams instead of single replies. The transports probe for it: a
+// request whose type Streams() reports true is dispatched to
+// HandleStream, everything else goes through Handle as before.
+type StreamHandler interface {
+	Handler
+	// Streams reports whether msgType is served as a stream.
+	Streams(msgType string) bool
+	// HandleStream serves one streaming request: it calls send once per
+	// intermediate frame (send blocks on backpressure and returns an
+	// error when the connection is broken — the handler must stop
+	// streaming then) and returns the trailer, which the transport
+	// delivers with the Last flag set. A returned error becomes a
+	// terminal "error" frame instead.
+	HandleStream(ctx context.Context, req Message, send func(Message) error) (Message, error)
+}
+
+// serveStream runs the server half of one streaming exchange on conn,
+// whose encoder enc already owns the write side. Every frame write —
+// intermediate and trailer alike — is bounded by frameTimeout (<= 0
+// disables the bound), so a reader that stopped draining cannot pin a
+// serving goroutine forever. The returned error means the connection is
+// broken and must be dropped; nil means the trailer was written and the
+// connection is back in request/response state.
+func serveStream(conn net.Conn, enc *json.Encoder, sh StreamHandler, req Message, frameTimeout time.Duration) error {
+	send := func(m Message) error {
+		if frameTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(frameTimeout)); err != nil {
+				return fmt.Errorf("transport: arming stream write deadline: %w", err)
+			}
+		}
+		err := enc.Encode(m)
+		if frameTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			return fmt.Errorf("transport: writing stream frame: %w", err)
+		}
+		return nil
+	}
+	trailer, err := sh.HandleStream(context.Background(), req, func(m Message) error {
+		m.Last = false // the trailer is the transport's to mark
+		return send(m)
+	})
+	if err != nil {
+		trailer = ErrorMessage(err)
+	}
+	trailer.Last = true
+	return send(trailer)
+}
+
+// clientStream is the Stream implementation both clients share: a
+// decoder positioned after the request was written, and a finish hook
+// that returns (or discards) the underlying connection exactly once.
+type clientStream struct {
+	ctx  context.Context
+	dec  *json.Decoder
+	done atomic.Bool
+	once sync.Once
+	// finish releases the connection; broken means the exchange did not
+	// reach its terminal frame, so the connection is desynchronized.
+	finish func(broken bool)
+}
+
+// end runs the finish hook exactly once.
+func (s *clientStream) end(broken bool) {
+	s.once.Do(func() { s.finish(broken) })
+}
+
+// Next implements Stream.
+func (s *clientStream) Next() (Message, error) {
+	if s.done.Load() {
+		return Message{}, ErrStreamDone
+	}
+	var m Message
+	if err := s.dec.Decode(&m); err != nil {
+		s.done.Store(true)
+		s.end(true)
+		if ctxErr := s.ctx.Err(); ctxErr != nil {
+			return Message{}, fmt.Errorf("transport: reading stream frame: %w", ctxErr)
+		}
+		return Message{}, fmt.Errorf("transport: reading stream frame: %w", err)
+	}
+	if m.Last {
+		s.done.Store(true)
+		s.end(false)
+		if err := m.AsError(); err != nil {
+			return Message{}, err
+		}
+		return m, nil
+	}
+	if err := m.AsError(); err != nil {
+		// A unary error reply: the server refused the request before any
+		// streaming began (e.g. a pre-streaming peer). The exchange is
+		// complete, so the connection is clean.
+		s.done.Store(true)
+		s.end(false)
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// Close implements Stream.
+func (s *clientStream) Close() error {
+	s.done.Store(true)
+	s.end(true)
+	return nil
+}

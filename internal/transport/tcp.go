@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,10 @@ import (
 type TCPServer struct {
 	listener net.Listener
 	handler  Handler
+
+	// streamWriteTimeout bounds each streaming frame write (nanoseconds);
+	// zero means DefaultStreamWriteTimeout, negative disables the bound.
+	streamWriteTimeout atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]*connState
@@ -57,6 +62,21 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 
 // Addr returns the server's bound address.
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// SetStreamWriteTimeout overrides the per-frame write deadline streaming
+// replies are bounded by (DefaultStreamWriteTimeout when unset). A
+// negative duration disables the bound. Safe to call while serving.
+func (s *TCPServer) SetStreamWriteTimeout(d time.Duration) {
+	s.streamWriteTimeout.Store(int64(d))
+}
+
+// streamTimeout resolves the effective per-frame write deadline.
+func (s *TCPServer) streamTimeout() time.Duration {
+	if d := s.streamWriteTimeout.Load(); d != 0 {
+		return time.Duration(d)
+	}
+	return DefaultStreamWriteTimeout
+}
 
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
@@ -104,6 +124,18 @@ func (s *TCPServer) serveConn(conn net.Conn, st *connState) {
 		}
 		st.busy = true
 		st.mu.Unlock()
+
+		if sh, ok := s.handler.(StreamHandler); ok && sh.Streams(req.Type) {
+			streamErr := serveStream(conn, enc, sh, req, s.streamTimeout())
+			st.mu.Lock()
+			st.busy = false
+			done := st.closeRequested
+			st.mu.Unlock()
+			if streamErr != nil || done {
+				return
+			}
+			continue
+		}
 
 		resp, err := s.handler.Handle(context.Background(), req)
 		if err != nil {
@@ -174,7 +206,10 @@ type poolConn struct {
 	enc  *json.Encoder
 }
 
-var _ Client = (*TCPClient)(nil)
+var (
+	_ Client       = (*TCPClient)(nil)
+	_ StreamCaller = (*TCPClient)(nil)
+)
 
 // DefaultPoolSize is the connection-pool size used by DialTCPPool when the
 // requested size is zero or negative.
@@ -283,6 +318,81 @@ func (c *TCPClient) Call(ctx context.Context, req Message) (Message, error) {
 		c.slots <- pc
 	}
 	return resp, err
+}
+
+// CallStream implements StreamCaller: it checks a connection out of the
+// pool exactly like Call, sends the request, and returns the reply
+// stream. The connection stays checked out until the stream finishes —
+// cleanly (trailer read, connection returned to the pool) or not (closed
+// early or broken, connection discarded). The context bounds the whole
+// exchange through the connection deadline, so cancellation mid-stream
+// fails the next Next promptly. Only send message types the server
+// streams: a unary reply has no terminal frame to end the stream on.
+func (c *TCPClient) CallStream(ctx context.Context, req Message) (Stream, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	var pc *poolConn
+	select {
+	case pc = <-c.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if pc == nil {
+		var err error
+		if pc, err = c.dial(ctx); err != nil {
+			c.slots <- nil // hand the permit back
+			return nil, err
+		}
+	}
+	conn := pc.conn
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			c.discard(pc)
+			c.slots <- nil
+			return nil, fmt.Errorf("transport: setting deadline: %w", err)
+		}
+	}
+	// The cancellation watchdog spans the whole stream, not one round
+	// trip: it is joined by the finish hook when the stream ends.
+	stopWatchdog := func() {}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-ctx.Done():
+				_ = conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+		stopWatchdog = func() {
+			close(stop)
+			<-exited
+		}
+	}
+	finish := func(broken bool) {
+		stopWatchdog()
+		_ = conn.SetDeadline(time.Time{})
+		if broken {
+			c.discard(pc)
+			c.slots <- nil
+		} else {
+			c.slots <- pc
+		}
+	}
+	if err := pc.enc.Encode(req); err != nil {
+		finish(true)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("transport: sending request: %w", ctxErr)
+		}
+		return nil, fmt.Errorf("transport: sending request: %w", err)
+	}
+	return &clientStream{ctx: ctx, dec: pc.dec, finish: finish}, nil
 }
 
 // roundTrip runs one exchange on a checked-out connection. broken reports

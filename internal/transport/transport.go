@@ -18,6 +18,12 @@ import (
 type Message struct {
 	Type    string          `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Last marks the terminal frame of a streaming exchange: the server
+	// sets it on the trailer (or terminal error) so the client knows the
+	// connection has returned to the strict request/response state. Unary
+	// exchanges never set it, which keeps the field invisible on the wire
+	// (omitempty) for every pre-streaming peer.
+	Last bool `json:"last,omitempty"`
 }
 
 // NewMessage marshals a payload into an envelope.

@@ -200,6 +200,101 @@ const (
 	MsgSyncDelta    = service.MsgSyncDelta
 )
 
+// Streaming verification (the "verify-stream" exchange): instead of one
+// batch-verdicts reply after the whole batch, the authority emits one
+// framed StreamVerdict per item as workers finish and closes with a
+// Last-flagged StreamTrailer carrying aggregate stats, so the time to
+// first verdict is one verification regardless of batch size.
+type (
+	// StreamVerdict is one per-item frame of a verify-stream: the item's
+	// index in the submitted batch, its verdict, and — when the verdict
+	// was a cache hit with a stored quorum certificate — the certificate.
+	StreamVerdict = service.StreamVerdict
+	// StreamTrailer is the terminal frame of a verify-stream: item and
+	// delivery counts, accept/reject tallies, elapsed and first-verdict
+	// timings, and the truncation flag with its reason when the stream
+	// ended before all items were verified.
+	StreamTrailer = service.StreamTrailer
+	// PartialBatchError reports a VerifyBatch that completed some items
+	// before the context was cancelled or the service closed: Done of
+	// Total finished, Cause says why the rest did not. It unwraps to
+	// Cause, so errors.Is(err, context.Canceled) still works.
+	PartialBatchError = service.PartialBatchError
+	// TransportStream is a client-side handle on an open streaming
+	// exchange: Next returns frames until the Last-flagged terminal
+	// frame, then ErrStreamDone; Close abandons the stream early.
+	TransportStream = transport.Stream
+	// StreamCaller is the transport capability streaming clients need
+	// (both the TCP client and PipeClient implement it): CallStream
+	// opens an exchange and returns the frame iterator.
+	StreamCaller = transport.StreamCaller
+	// StreamHandler is the server-side capability: a Handler that also
+	// answers streaming message types frame by frame.
+	StreamHandler = transport.StreamHandler
+)
+
+// Verify-stream wire message types.
+const (
+	// MsgVerifyStream opens a streaming batch verification.
+	MsgVerifyStream = service.MsgVerifyStream
+	// MsgStreamVerdict is the per-item frame type of a verify-stream.
+	MsgStreamVerdict = service.MsgStreamVerdict
+	// MsgStreamTrailer is the Last-flagged terminal frame type.
+	MsgStreamTrailer = service.MsgStreamTrailer
+	// DefaultStreamWriteTimeout is the server's per-frame write deadline:
+	// a stalled reader errors the stream instead of wedging a worker.
+	DefaultStreamWriteTimeout = transport.DefaultStreamWriteTimeout
+)
+
+// ErrStreamDone is returned by TransportStream.Next after the terminal
+// frame has been delivered (or the stream was closed).
+var ErrStreamDone = transport.ErrStreamDone
+
+// StreamVerify drives a verify-stream from the client side: it opens the
+// exchange on any StreamCaller, invokes onVerdict for every per-item
+// frame in arrival order, and returns the decoded trailer. A non-nil
+// onVerdict error abandons the stream and is returned verbatim.
+func StreamVerify(ctx context.Context, c StreamCaller, anns []Announcement, onVerdict func(StreamVerdict) error) (*StreamTrailer, error) {
+	return service.StreamVerify(ctx, c, anns, onVerdict)
+}
+
+// Tiered admission control (ServiceConfig.Admission): two token buckets
+// — an interactive class for single verifications and a batch class for
+// VerifyBatch / verify-stream — shed whole requests up front when the
+// offered load exceeds the configured budgets. Interactive traffic may
+// borrow from the batch budget when its own bucket is dry, so under
+// sustained overload the batch class always saturates first and
+// interactive latency stays bounded.
+type (
+	// AdmissionConfig sets the per-class token-bucket budgets: rates in
+	// verifications per second (zero disables a class's limit) and burst
+	// capacities (zero defaults to twice the rate).
+	AdmissionConfig = service.AdmissionConfig
+	// AdmissionStats is the admission section of ServiceStats, present
+	// only when admission control is enabled.
+	AdmissionStats = service.AdmissionStats
+	// ClassAdmissionStats counts one class's admitted and shed requests,
+	// the items those shed requests carried, and echoes its budget.
+	ClassAdmissionStats = service.ClassAdmissionStats
+	// AdmissionClass names an admission class on request classification
+	// and in metrics labels.
+	AdmissionClass = service.Class
+)
+
+// Admission classes.
+const (
+	// ClassInteractive is the admission class of single verifications.
+	ClassInteractive = service.ClassInteractive
+	// ClassBatch is the admission class of batch and streaming
+	// verifications; it sheds first under overload.
+	ClassBatch = service.ClassBatch
+)
+
+// ErrAdmissionRejected wraps every admission refusal; its message prefix
+// ("admission rejected:") is the stable log line operators and the CI
+// smoke grep for. Match with errors.Is.
+var ErrAdmissionRejected = service.ErrAdmissionRejected
+
 // The multi-verifier quorum layer (see internal/quorum): the paper's
 // "majority of the verifiers is trusted", as a fan-out client.
 type (
